@@ -1,0 +1,341 @@
+// Benchmark harness: one testing.B per table and figure of the paper's
+// evaluation (§VI), plus ablation benches for the design choices called out
+// in DESIGN.md. Each figure bench runs the corresponding experiment at a
+// reduced-but-representative scale and reports the paper's headline metrics
+// through b.ReportMetric, so `go test -bench=. -benchmem` regenerates the
+// whole evaluation in one command. The CLI (`fsr experiment <id> -full`)
+// runs the paper-scale variants.
+package fsr
+
+import (
+	"testing"
+	"time"
+
+	"fsr/internal/algebra"
+	"fsr/internal/analysis"
+	"fsr/internal/experiments"
+	"fsr/internal/ndlog"
+	"fsr/internal/pathvector"
+	"fsr/internal/simnet"
+	"fsr/internal/smt"
+	"fsr/internal/spp"
+
+	enginepkg "fsr/internal/engine"
+)
+
+// BenchmarkTableI regenerates Table I: the policy-configuration spectrum.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.TableI()
+		if len(rows) != 4 {
+			b.Fatalf("table I has %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkTableII regenerates Table II: the algebra → NDlog translation
+// (f_pref, f_concatSig, f_import, f_export) for the Gao-Rexford guideline.
+func BenchmarkTableII(b *testing.B) {
+	alg := algebra.GaoRexfordA()
+	for i := 0; i < b.N; i++ {
+		prog, err := ndlog.Generate(alg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, fn := range []string{"f_pref", "f_concatSig", "f_import", "f_export"} {
+			if _, ok := prog.Func(fn); !ok {
+				b.Fatalf("missing %s", fn)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure1Pipeline runs the whole FSR architecture end to end on
+// one policy: analysis plus implementation generation from the same
+// algebra.
+func BenchmarkFigure1Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		alg := algebra.GaoRexfordWithHopCount()
+		rep, err := analysis.AnalyzeSafety(alg)
+		if err != nil || rep.Verdict != analysis.Safe {
+			b.Fatalf("analysis: %v %v", rep.Verdict, err)
+		}
+		if _, err := ndlog.Generate(algebra.GaoRexfordA()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3Analysis analyzes the six-node iBGP gadget: 18
+// constraints, unsat, six-element core naming the reflectors (§IV-C).
+func BenchmarkFigure3Analysis(b *testing.B) {
+	conv, err := spp.Figure3IBGP().ToAlgebra()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var res analysis.Result
+	for i := 0; i < b.N; i++ {
+		res, err = analysis.Check(conv.Algebra, analysis.StrictMonotonicity)
+		if err != nil || res.Sat {
+			b.Fatalf("want unsat, got %v %v", res.Sat, err)
+		}
+	}
+	b.ReportMetric(float64(res.NumPreference+res.NumMonotonicity), "constraints")
+	b.ReportMetric(float64(len(res.Core)), "core")
+}
+
+// BenchmarkFigure4 regenerates the convergence-vs-chain-length series
+// (CAIDA-Sim), reporting the deepest point's convergence in batch phases.
+func BenchmarkFigure4(b *testing.B) {
+	var res experiments.Figure4Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Figure4(experiments.Figure4Options{
+			Seed:   1,
+			Depths: []int{3, 6, 9, 12},
+			Batch:  50 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(last.SimTime.Seconds()/res.Batch.Seconds(), "phases@12")
+	b.ReportMetric(float64(2*(last.Depth+1)), "worstcase@12")
+}
+
+// BenchmarkFigure5 regenerates the §VI-B iBGP study: extraction, analysis
+// (constraint counts, core size) and the bandwidth comparison.
+func BenchmarkFigure5(b *testing.B) {
+	var res *experiments.Figure5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Figure5(experiments.Figure5Options{
+			Seed:    5,
+			Batch:   10 * time.Millisecond,
+			Horizon: 1200 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.GadgetAnalysis.NumPreference), "rankingCons")
+	b.ReportMetric(float64(res.GadgetAnalysis.NumMonotonicity), "monoCons")
+	b.ReportMetric(float64(len(res.GadgetAnalysis.Core)), "core")
+	b.ReportMetric(res.CommReduction(), "commReduction%")
+	b.ReportMetric(res.ConvReduction(), "convReduction%")
+}
+
+// BenchmarkFigure6 regenerates the PV / HLP / HLP-CH comparison, reporting
+// per-node communication cost (the paper's 1.75 / 1.09 / 0.59 MB ordering).
+func BenchmarkFigure6(b *testing.B) {
+	var res *experiments.Figure6Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Figure6(experiments.Figure6Options{
+			Seed:       3,
+			Domains:    4,
+			DomainSize: 8,
+			CrossLinks: 12,
+			Horizon:    10 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.PVBytes, "PV-B/node")
+	b.ReportMetric(res.HLPBytes, "HLP-B/node")
+	b.ReportMetric(res.HLPCHBytes, "HLPCH-B/node")
+}
+
+// BenchmarkSectionVIBSolver isolates the §VI-B solver call: the paper
+// reports the SMT solver answering within 100 ms on the extracted instance.
+func BenchmarkSectionVIBSolver(b *testing.B) {
+	res, err := experiments.Figure5(experiments.Figure5Options{
+		Seed:    5,
+		Batch:   10 * time.Millisecond,
+		Horizon: 800 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+	// Rebuild the constraint set once, then measure pure solving.
+	conv, err := spp.Figure3IBGP().ToAlgebra()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons, err := analysis.Constraints(conv.Algebra, analysis.StrictMonotonicity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := smt.NewSolver()
+		for _, c := range cons {
+			s.Assert(c.Assertion)
+		}
+		out, err := s.Check()
+		if err != nil || out.Sat {
+			b.Fatalf("want unsat")
+		}
+	}
+}
+
+// BenchmarkGadgetGood / Bad / Disagree emulate the §VI-C gadgets.
+func benchGadget(b *testing.B, mk func() *spp.Instance, wantConverge bool) {
+	for i := 0; i < b.N; i++ {
+		conv, err := mk().ToAlgebra()
+		if err != nil {
+			b.Fatal(err)
+		}
+		net := simnet.New(1, nil)
+		_, err = pathvector.BuildSPP(net, conv, simnet.DefaultLink(), pathvector.Config{
+			BatchInterval: 20 * time.Millisecond,
+			StartStagger:  10 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := net.Run(4 * time.Second)
+		if res.Converged != wantConverge {
+			b.Fatalf("converged=%v, want %v", res.Converged, wantConverge)
+		}
+	}
+}
+
+func BenchmarkGadgetGood(b *testing.B)     { benchGadget(b, spp.GoodGadget, true) }
+func BenchmarkGadgetBad(b *testing.B)      { benchGadget(b, spp.BadGadget, false) }
+func BenchmarkGadgetDisagree(b *testing.B) { benchGadget(b, spp.Disagree, true) }
+
+// BenchmarkAblationNativeVsNDlogNative and ...NDlog compare the two GPV
+// execution paths on the same instance (the compiled-vs-interpreted design
+// choice of §V).
+func BenchmarkAblationNativeVsNDlogNative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		conv, _ := spp.Figure3IBGPFixed().ToAlgebra()
+		net := simnet.New(1, nil)
+		_, err := pathvector.BuildSPP(net, conv, simnet.DefaultLink(), pathvector.Config{
+			BatchInterval: 20 * time.Millisecond, StartStagger: 15 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := net.Run(20 * time.Second); !res.Converged {
+			b.Fatal("native run did not converge")
+		}
+	}
+}
+
+func BenchmarkAblationNativeVsNDlogNDlog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		conv, _ := spp.Figure3IBGPFixed().ToAlgebra()
+		net := simnet.New(1, nil)
+		_, err := enginepkg.BuildSPP(net, conv, simnet.DefaultLink(), 20*time.Millisecond, 15*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := net.Run(20 * time.Second); !res.Converged {
+			b.Fatal("NDlog run did not converge")
+		}
+	}
+}
+
+// BenchmarkAblationUnsatCoreMinimized / Cycle compare deletion-minimized
+// cores against raw negative-cycle extraction.
+func benchCoreAblation(b *testing.B, noMinimize bool) {
+	conv, err := spp.Figure3IBGP().ToAlgebra()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons, err := analysis.Constraints(conv.Algebra, analysis.StrictMonotonicity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var core int
+	for i := 0; i < b.N; i++ {
+		s := smt.NewSolver()
+		s.NoMinimize = noMinimize
+		for _, c := range cons {
+			s.Assert(c.Assertion)
+		}
+		out, err := s.Check()
+		if err != nil || out.Sat {
+			b.Fatal("want unsat")
+		}
+		core = len(out.Core)
+	}
+	b.ReportMetric(float64(core), "core")
+}
+
+func BenchmarkAblationUnsatCoreMinimized(b *testing.B) { benchCoreAblation(b, false) }
+func BenchmarkAblationUnsatCoreCycle(b *testing.B)     { benchCoreAblation(b, true) }
+
+// BenchmarkAblationBatching sweeps the route-propagation batch interval
+// (the paper uses 1 s in §VI-A) and reports convergence in phases.
+func BenchmarkAblationBatching(b *testing.B) {
+	for _, batch := range []time.Duration{10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond} {
+		b.Run(batch.String(), func(b *testing.B) {
+			var conv time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Figure4(experiments.Figure4Options{
+					Seed: 1, Depths: []int{6}, Batch: batch,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				conv = res.Rows[0].SimTime
+			}
+			b.ReportMetric(conv.Seconds(), "convergence-s")
+		})
+	}
+}
+
+// BenchmarkAblationCostHiding sweeps the HLP cost-hiding threshold.
+func BenchmarkAblationCostHiding(b *testing.B) {
+	for _, hiding := range []int{1, 5, 20} {
+		b.Run(map[int]string{1: "h1", 5: "h5", 20: "h20"}[hiding], func(b *testing.B) {
+			var bytes float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Figure6(experiments.Figure6Options{
+					Seed: 3, Domains: 3, DomainSize: 6, CrossLinks: 8,
+					Hiding: hiding, Horizon: 10 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = res.HLPCHBytes
+			}
+			b.ReportMetric(bytes, "B/node")
+		})
+	}
+}
+
+// BenchmarkSolverScaling measures the SMT substrate on growing chain
+// instances (pure solver throughput).
+func BenchmarkSolverScaling(b *testing.B) {
+	for _, n := range []int{10, 50, 200} {
+		b.Run(map[int]string{10: "n10", 50: "n50", 200: "n200"}[n], func(b *testing.B) {
+			conv, err := spp.ChainGadget(n).ToAlgebra()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cons, err := analysis.Constraints(conv.Algebra, analysis.StrictMonotonicity)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := smt.NewSolver()
+				for _, c := range cons {
+					s.Assert(c.Assertion)
+				}
+				if out, err := s.Check(); err != nil || !out.Sat {
+					b.Fatal("chain should be sat")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,351 @@
+// Command fsr is the FSR toolkit CLI: analyze policy configurations for
+// safety, compile them to NDlog implementations, run protocol executions,
+// and regenerate the paper's tables and figures.
+//
+// Usage:
+//
+//	fsr analyze  [-config FILE | -builtin NAME]   safety analysis
+//	fsr compile  [-config FILE | -builtin NAME]   emit the NDlog program
+//	fsr yices    [-config FILE | -builtin NAME]   emit the solver encoding
+//	fsr run      [-gadget NAME] [-horizon D]      execute a gadget under GPV
+//	fsr experiment <table1|table2|fig3|fig4|fig5|fig6|vic> [flags]
+//	fsr topo     [-depth N] [-seed S]             print a generated AS hierarchy
+//
+// Built-in policies: gao-rexford-a, gao-rexford-b, gao-rexford-safe,
+// hop-count, backup. Built-in gadgets: goodgadget, badgadget, disagree,
+// fig3, fig3-fixed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fsr"
+	"fsr/internal/algebra"
+	"fsr/internal/analysis"
+	"fsr/internal/experiments"
+	"fsr/internal/pathvector"
+	"fsr/internal/simnet"
+	"fsr/internal/spp"
+	"fsr/internal/topology"
+	"fsr/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "compile":
+		err = cmdCompile(os.Args[2:])
+	case "yices":
+		err = cmdYices(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "topo":
+		err = cmdTopo(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fsr: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsr:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: fsr <command> [flags]
+
+commands:
+  analyze     safety analysis of a policy configuration
+  compile     emit the generated NDlog implementation
+  yices       emit the Yices-syntax solver encoding
+  run         execute a gadget instance under GPV
+  experiment  regenerate a table or figure of the paper
+  topo        print a generated AS hierarchy
+`)
+}
+
+// loadPolicy resolves -builtin/-config/-spp flags to an algebra.
+func loadPolicy(builtin, configPath, sppName string) (fsr.Algebra, *spp.Conversion, error) {
+	if configPath != "" {
+		data, err := os.ReadFile(configPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		file, err := fsr.ParseConfig(string(data))
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(file.Algebras) > 0 {
+			return file.Algebras[0], nil, nil
+		}
+		if len(file.Instances) > 0 {
+			conv, err := file.Instances[0].ToAlgebra()
+			if err != nil {
+				return nil, nil, err
+			}
+			return conv.Algebra, conv, nil
+		}
+		return nil, nil, fmt.Errorf("config %s defines no algebra or spp instance", configPath)
+	}
+	if sppName != "" {
+		inst, err := gadgetByName(sppName)
+		if err != nil {
+			return nil, nil, err
+		}
+		conv, err := inst.ToAlgebra()
+		if err != nil {
+			return nil, nil, err
+		}
+		return conv.Algebra, conv, nil
+	}
+	switch builtin {
+	case "", "gao-rexford-a":
+		return fsr.GaoRexfordA(), nil, nil
+	case "gao-rexford-b":
+		return fsr.GaoRexfordB(), nil, nil
+	case "gao-rexford-safe":
+		return fsr.GaoRexfordSafe(), nil, nil
+	case "hop-count":
+		return fsr.HopCount(), nil, nil
+	case "backup":
+		return algebra.BackupRouting(2), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown builtin policy %q", builtin)
+	}
+}
+
+func gadgetByName(name string) (*spp.Instance, error) {
+	switch name {
+	case "goodgadget":
+		return spp.GoodGadget(), nil
+	case "badgadget":
+		return spp.BadGadget(), nil
+	case "disagree":
+		return spp.Disagree(), nil
+	case "fig3":
+		return spp.Figure3IBGP(), nil
+	case "fig3-fixed":
+		return spp.Figure3IBGPFixed(), nil
+	default:
+		return nil, fmt.Errorf("unknown gadget %q", name)
+	}
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	builtin := fs.String("builtin", "", "built-in policy name")
+	configPath := fs.String("config", "", "configuration file")
+	sppName := fs.String("spp", "", "built-in SPP gadget name")
+	fs.Parse(args)
+	alg, conv, err := loadPolicy(*builtin, *configPath, *sppName)
+	if err != nil {
+		return err
+	}
+	rep, err := fsr.AnalyzeSafety(alg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if conv != nil && rep.Verdict == analysis.Unsafe && len(rep.Steps) > 0 {
+		suspects := conv.SuspectNodes(rep.Steps[0].Core)
+		fmt.Printf("suspect nodes: %v\n", suspects)
+	}
+	return nil
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	builtin := fs.String("builtin", "", "built-in policy name")
+	configPath := fs.String("config", "", "configuration file")
+	sppName := fs.String("spp", "", "built-in SPP gadget name")
+	fs.Parse(args)
+	alg, _, err := loadPolicy(*builtin, *configPath, *sppName)
+	if err != nil {
+		return err
+	}
+	prog, err := fsr.CompileNDlog(alg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog)
+	return nil
+}
+
+func cmdYices(args []string) error {
+	fs := flag.NewFlagSet("yices", flag.ExitOnError)
+	builtin := fs.String("builtin", "", "built-in policy name")
+	configPath := fs.String("config", "", "configuration file")
+	sppName := fs.String("spp", "", "built-in SPP gadget name")
+	fs.Parse(args)
+	alg, _, err := loadPolicy(*builtin, *configPath, *sppName)
+	if err != nil {
+		return err
+	}
+	text, err := fsr.YicesEncoding(alg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	gadget := fs.String("gadget", "fig3-fixed", "gadget instance to execute")
+	horizon := fs.Duration("horizon", 5*time.Second, "simulation horizon")
+	batch := fs.Duration("batch", 20*time.Millisecond, "route propagation batch interval")
+	fs.Parse(args)
+	inst, err := gadgetByName(*gadget)
+	if err != nil {
+		return err
+	}
+	conv, err := inst.ToAlgebra()
+	if err != nil {
+		return err
+	}
+	col := trace.NewCollector(10 * time.Millisecond)
+	net := simnet.New(1, col)
+	nodes, err := pathvector.BuildSPP(net, conv, simnet.DefaultLink(), pathvector.Config{
+		BatchInterval: *batch,
+		StartStagger:  *batch / 2,
+	})
+	if err != nil {
+		return err
+	}
+	res := net.Run(*horizon)
+	msgs, bytes := col.Totals()
+	fmt.Printf("%s: converged=%v time=%v messages=%d bytes=%d\n", inst.Name, res.Converged, res.Time, msgs, bytes)
+	for _, n := range inst.Nodes {
+		if best, ok := nodes[simnet.NodeID(n)].Best(pathvector.SPPDest); ok {
+			fmt.Printf("  %s → %v (%s)\n", n, best.Path, best.Sig)
+		} else {
+			fmt.Printf("  %s → no route\n", n)
+		}
+	}
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("experiment wants a name: table1 table2 fig3 fig4 fig5 fig6 vic")
+	}
+	name := args[0]
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "generation seed")
+	full := fs.Bool("full", false, "paper-scale parameters (slower)")
+	deployment := fs.Bool("deployment", false, "also run deployment (real-socket) series where applicable")
+	fs.Parse(args[1:])
+	switch name {
+	case "table1":
+		fmt.Print(experiments.FormatTableI(experiments.TableI()))
+		return nil
+	case "table2":
+		prog, err := fsr.CompileNDlog(fsr.GaoRexfordA())
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table II: algebra → NDlog mapping (generated for gao-rexford-a)")
+		for _, fn := range []string{"f_pref", "f_concatSig", "f_import", "f_export"} {
+			def, ok := prog.Func(fn)
+			if !ok {
+				return fmt.Errorf("generated program lacks %s", fn)
+			}
+			if def.Text != "" {
+				fmt.Println(def.Text)
+			}
+		}
+		return nil
+	case "fig3":
+		res, suspects, err := fsr.AnalyzeSPP(fsr.Figure3IBGP())
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		fmt.Printf("suspect nodes: %v\n", suspects)
+		fixed, _, err := fsr.AnalyzeSPP(fsr.Figure3IBGPFixed())
+		if err != nil {
+			return err
+		}
+		fmt.Println(fixed)
+		return nil
+	case "fig4":
+		opts := experiments.Figure4Options{Seed: *seed, Deployment: *deployment}
+		if !*full {
+			opts.Depths = []int{3, 5, 7, 9, 11}
+			opts.Batch = 100 * time.Millisecond
+		}
+		res, err := experiments.Figure4(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "fig5":
+		opts := experiments.Figure5Options{Seed: *seed}
+		if !*full {
+			opts.ISP = topology.ISPParams{Routers: 40, Links: 120, Reflectors: 24, Levels: 6}
+		}
+		res, err := experiments.Figure5(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "fig6":
+		opts := experiments.Figure6Options{Seed: *seed}
+		if !*full {
+			opts.Domains = 4
+			opts.DomainSize = 8
+			opts.CrossLinks = 16
+		}
+		res, err := experiments.Figure6(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "vic":
+		reps, err := experiments.SectionVIC(experiments.SectionVICOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		for _, r := range reps {
+			fmt.Printf("%-12s sat=%-5v converged=%-5v time=%-10v msgs=%d\n",
+				r.Name, r.Sat, r.Converged, r.Time, r.Messages)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func cmdTopo(args []string) error {
+	fs := flag.NewFlagSet("topo", flag.ExitOnError)
+	depth := fs.Int("depth", 5, "longest customer-provider chain")
+	seed := fs.Int64("seed", 1, "generation seed")
+	fs.Parse(args)
+	g := topology.GenerateHierarchy(*seed, topology.HierarchyParams{Depth: *depth})
+	fmt.Printf("AS hierarchy: %d nodes, %d edges, depth %d\n", len(g.Nodes), len(g.Edges), g.Depth)
+	for _, e := range g.Edges {
+		rel := "provider-of"
+		if e.Rel == topology.PeerPeer {
+			rel = "peer"
+		}
+		fmt.Printf("  %s %s %s\n", e.A, rel, e.B)
+	}
+	return nil
+}

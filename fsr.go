@@ -1,0 +1,125 @@
+// Package fsr is the public facade of the Formally Safe Routing toolkit, a
+// from-scratch reproduction of "FSR: Formal Analysis and Implementation
+// Toolkit for Safe Inter-Domain Routing" (Wang et al., SIGCOMM 2011).
+//
+// FSR takes a routing-policy configuration — a high-level guideline such as
+// Gao-Rexford, or a concrete instance such as an iBGP configuration — in a
+// single algebraic representation, and derives from it both:
+//
+//   - a safety analysis: the policy is translated to integer constraints
+//     and checked for strict monotonicity with an SMT solver; sat proves
+//     convergence on every topology (Sobrinho's theorem), unsat yields a
+//     minimal unsatisfiable core pinpointing the offending policy
+//     statements; and
+//   - a distributed implementation: the same algebra is compiled to an
+//     NDlog program (the generalized path-vector protocol plus the four
+//     policy functions) executable in simulation or over real sockets.
+//
+// The heavy lifting lives in the internal packages (algebra, smt, analysis,
+// spp, ndlog, engine, simnet, pathvector, hlp, topology, experiments); this
+// package re-exports the entry points a downstream user needs, so the
+// examples read like client code.
+package fsr
+
+import (
+	"fsr/internal/algebra"
+	"fsr/internal/analysis"
+	"fsr/internal/config"
+	"fsr/internal/ndlog"
+	"fsr/internal/spp"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Algebra is a routing-policy configuration ⟨Σ, ⪯, L, ⊕I, ⊕P, ⊕E⟩.
+	Algebra = algebra.Algebra
+	// AnalysisResult is the outcome of one monotonicity check.
+	AnalysisResult = analysis.Result
+	// SafetyReport is the overall safety verdict with its reasoning chain.
+	SafetyReport = analysis.Report
+	// SPPInstance is a Stable Paths Problem instance.
+	SPPInstance = spp.Instance
+	// NDlogProgram is a generated or parsed NDlog program.
+	NDlogProgram = ndlog.Program
+)
+
+// Verdicts.
+const (
+	Safe   = analysis.Safe
+	Unsafe = analysis.Unsafe
+)
+
+// GaoRexfordA returns the paper's running example guideline (§II-B).
+func GaoRexfordA() Algebra { return algebra.GaoRexfordA() }
+
+// GaoRexfordB returns Gao-Rexford guideline B.
+func GaoRexfordB() Algebra { return algebra.GaoRexfordB() }
+
+// HopCount returns the shortest hop-count algebra (§II-A).
+func HopCount() Algebra { return algebra.HopCount{} }
+
+// GaoRexfordSafe returns the provably safe composition of guideline A with
+// shortest hop-count as tie-breaker (§IV-C).
+func GaoRexfordSafe() Algebra { return algebra.GaoRexfordWithHopCount() }
+
+// Compose returns the lexical product a ⊗ b (§II-A).
+func Compose(a, b Algebra) Algebra { return algebra.NewProduct(a, b) }
+
+// AnalyzeSafety decides safety for a policy configuration, applying the
+// lexical-product composition rule (§IV).
+func AnalyzeSafety(a Algebra) (SafetyReport, error) { return analysis.AnalyzeSafety(a) }
+
+// CheckStrictMonotonicity runs the single strict-monotonicity check,
+// returning the solver-level result with model or minimal core.
+func CheckStrictMonotonicity(a Algebra) (AnalysisResult, error) {
+	return analysis.Check(a, analysis.StrictMonotonicity)
+}
+
+// CheckMonotonicity runs the plain monotonicity check.
+func CheckMonotonicity(a Algebra) (AnalysisResult, error) {
+	return analysis.Check(a, analysis.Monotonicity)
+}
+
+// YicesEncoding renders the §IV-C style solver input for a policy.
+func YicesEncoding(a Algebra) (string, error) {
+	return analysis.Yices(a, analysis.StrictMonotonicity)
+}
+
+// CompileNDlog translates a policy configuration to its NDlog
+// implementation: the GPV program plus the generated policy functions
+// (§V, Table II).
+func CompileNDlog(a Algebra) (*NDlogProgram, error) { return ndlog.Generate(a) }
+
+// Figure3IBGP returns the paper's six-node iBGP gadget (Figure 3).
+func Figure3IBGP() *SPPInstance { return spp.Figure3IBGP() }
+
+// Figure3IBGPFixed returns the corrected version of the Figure 3 gadget.
+func Figure3IBGPFixed() *SPPInstance { return spp.Figure3IBGPFixed() }
+
+// Gadgets returns the classic eBGP gadgets of §VI-C.
+func Gadgets() []*SPPInstance {
+	return []*SPPInstance{spp.GoodGadget(), spp.BadGadget(), spp.Disagree()}
+}
+
+// ConvertSPP translates an SPP instance to its algebraic representation
+// (§III-B), returning the conversion with its pinpointing maps.
+func ConvertSPP(in *SPPInstance) (*spp.Conversion, error) { return in.ToAlgebra() }
+
+// AnalyzeSPP converts and checks an SPP instance in one step, returning the
+// analysis result and the suspect nodes implicated by the core (empty when
+// sat).
+func AnalyzeSPP(in *SPPInstance) (AnalysisResult, []spp.Node, error) {
+	conv, err := in.ToAlgebra()
+	if err != nil {
+		return AnalysisResult{}, nil, err
+	}
+	res, err := analysis.Check(conv.Algebra, analysis.StrictMonotonicity)
+	if err != nil {
+		return AnalysisResult{}, nil, err
+	}
+	return res, conv.SuspectNodes(res.Core), nil
+}
+
+// ParseConfig reads the FSR configuration language (algebras, SPP
+// instances, AS relationship graphs).
+func ParseConfig(src string) (*config.File, error) { return config.Parse(src) }

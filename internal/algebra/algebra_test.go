@@ -1,0 +1,276 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestGaoRexfordCombinedTable reproduces the combined ⊕ table of §II-B
+// exactly:
+//
+//	⊕   C    R    P
+//	c   C    φ    φ
+//	r   R    φ    φ
+//	p   P    P    P
+func TestGaoRexfordCombinedTable(t *testing.T) {
+	a := GaoRexfordA()
+	want := map[[2]string]string{
+		{"c", "C"}: "C", {"c", "R"}: "φ", {"c", "P"}: "φ",
+		{"r", "C"}: "R", {"r", "R"}: "φ", {"r", "P"}: "φ",
+		{"p", "C"}: "P", {"p", "R"}: "P", {"p", "P"}: "P",
+	}
+	for _, l := range a.Labels() {
+		for _, s := range a.Sigs() {
+			got := Combined(a, l, s)
+			if got.String() != want[[2]string{l.String(), s.String()}] {
+				t.Errorf("%s ⊕ %s = %s, want %s", l, s, got, want[[2]string{l.String(), s.String()}])
+			}
+		}
+	}
+}
+
+// TestFigure2ExportPolicy checks the export semantics of Figure 2 under the
+// exporter-side label convention: everything to customers, only customer
+// routes to peers and providers.
+func TestFigure2ExportPolicy(t *testing.T) {
+	a := GaoRexfordA()
+	cases := []struct {
+		label Label
+		sig   Sig
+		want  bool
+	}{
+		{LabC, SigC, true}, {LabC, SigP, true}, {LabC, SigR, true}, // to customer: all
+		{LabP, SigC, true}, {LabP, SigP, false}, {LabP, SigR, false}, // to provider: C only
+		{LabR, SigC, true}, {LabR, SigP, false}, {LabR, SigR, false}, // to peer: C only
+	}
+	for _, c := range cases {
+		if got := a.Export(c.label, c.sig); got != c.want {
+			t.Errorf("Export(%s, %s) = %v, want %v", c.label, c.sig, got, c.want)
+		}
+	}
+}
+
+// TestPreferencesGaoRexford: the asserted statements are exactly C ≺ P,
+// C ≺ R, P = R (three constraints, as in the §IV-C listing).
+func TestPreferencesGaoRexford(t *testing.T) {
+	prefs := Preferences(GaoRexfordA())
+	if len(prefs) != 3 {
+		t.Fatalf("want 3 asserted preferences, got %d: %v", len(prefs), prefs)
+	}
+	rendered := map[string]bool{}
+	for _, p := range prefs {
+		rendered[p.String()] = true
+	}
+	for _, want := range []string{"C ≺ P", "C ≺ R", "P = R"} {
+		if !rendered[want] {
+			t.Errorf("missing asserted preference %s (have %v)", want, prefs)
+		}
+	}
+}
+
+// TestProhibitedAbsorbs: φ is absorbing under every operator.
+func TestProhibitedAbsorbs(t *testing.T) {
+	for _, a := range []Algebra{GaoRexfordA(), HopCount{}, GaoRexfordWithHopCount()} {
+		for _, l := range a.Labels() {
+			if got := a.Concat(l, Prohibited); !IsProhibited(got) {
+				t.Errorf("%s: %s ⊕ φ = %v, want φ", a.Name(), l, got)
+			}
+			if got := Combined(a, l, Prohibited); !IsProhibited(got) {
+				t.Errorf("%s: combined %s ⊕ φ = %v, want φ", a.Name(), l, got)
+			}
+		}
+	}
+}
+
+// TestPreferProhibited: everything is preferred to φ; φ is preferred to
+// nothing else.
+func TestPreferProhibited(t *testing.T) {
+	a := GaoRexfordA()
+	for _, s := range a.Sigs() {
+		if !a.Prefer(s, Prohibited) {
+			t.Errorf("%s should be preferred to φ", s)
+		}
+		if a.Prefer(Prohibited, s) {
+			t.Errorf("φ should not be preferred to %s", s)
+		}
+	}
+}
+
+// TestHopCountClosedForm checks the arithmetic algebra.
+func TestHopCountClosedForm(t *testing.T) {
+	h := HopCount{}
+	if got := h.Concat(LNum(1), Num(3)); got != Num(4) {
+		t.Errorf("1 ⊕ 3 = %v, want 4", got)
+	}
+	if d, ok := h.ConcatDelta(LNum(1)); !ok || d != 1 {
+		t.Errorf("ConcatDelta = %d,%v", d, ok)
+	}
+	if !h.Prefer(Num(2), Num(5)) || h.Prefer(Num(5), Num(2)) {
+		t.Errorf("shorter paths must be strictly preferred")
+	}
+	if h.Origin(LNum(1)) != Num(1) {
+		t.Errorf("one-hop path has length 1")
+	}
+}
+
+// TestProductLexicalOrder: the product compares first components first.
+func TestProductLexicalOrder(t *testing.T) {
+	p := GaoRexfordWithHopCount()
+	cp3 := SigPair{A: SigC, B: Num(3)}
+	cp5 := SigPair{A: SigC, B: Num(5)}
+	pp1 := SigPair{A: SigP, B: Num(1)}
+	if !p.Prefer(cp3, pp1) {
+		t.Errorf("(C,3) should be preferred to (P,1): customer beats provider regardless of length")
+	}
+	if !p.Prefer(cp3, cp5) || p.Prefer(cp5, cp3) {
+		t.Errorf("equal classes fall back to hop count")
+	}
+}
+
+// TestProductConcat: componentwise with φ propagation.
+func TestProductConcat(t *testing.T) {
+	p := GaoRexfordWithHopCount()
+	l := LabelPair{A: LabC, B: LNum(1)}
+	got := p.Concat(l, SigPair{A: SigC, B: Num(2)})
+	if got != (SigPair{A: SigC, B: Num(3)}) {
+		t.Errorf("got %v", got)
+	}
+	// Export filtering of the first factor prohibits the pair in Combined:
+	// a customer neighbor would never export its peer-learned route to us
+	// (combined table row c, column R is φ).
+	lc := LabelPair{A: LabC, B: LNum(1)}
+	if got := Combined(p, lc, SigPair{A: SigR, B: Num(2)}); !IsProhibited(got) {
+		t.Errorf("peer route over a customer link must be prohibited, got %v", got)
+	}
+}
+
+// TestBestSelection: Best respects strict preference and skips φ.
+func TestBestSelection(t *testing.T) {
+	a := GaoRexfordA()
+	got := Best(a, []Sig{Prohibited, SigP, SigC, SigR})
+	if got != SigC {
+		t.Errorf("Best = %v, want C", got)
+	}
+	if got := Best(a, nil); !IsProhibited(got) {
+		t.Errorf("Best of nothing should be φ")
+	}
+}
+
+// TestBuilderValidation: construction errors are reported, not silently
+// accepted.
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder("empty").Build(); err == nil {
+		t.Errorf("empty algebra should fail to build")
+	}
+	_, err := NewBuilder("bad").Sigs(SigC).Labels(LabC).
+		Concat(LabC, Symbol("undeclared"), SigC).Build()
+	if err == nil {
+		t.Errorf("undeclared signature should fail")
+	}
+	_, err = NewBuilder("dup").Sigs(SigC, SigC).Labels(LabC).Build()
+	if err == nil {
+		t.Errorf("duplicate signature should fail")
+	}
+	_, err = NewBuilder("dupconcat").Sigs(SigC).Labels(LabC).
+		Concat(LabC, SigC, SigC).Concat(LabC, SigC, SigC).Build()
+	if err == nil {
+		t.Errorf("duplicate concat entry should fail")
+	}
+}
+
+// TestChainTransitivity: chains close transitively for the relation but
+// assert only adjacent pairs.
+func TestChainTransitivity(t *testing.T) {
+	x, y, z := Symbol("x"), Symbol("y"), Symbol("z")
+	a := NewBuilder("chain").Sigs(x, y, z).Labels(LabC).Chain(x, y, z).MustBuild()
+	if !a.Prefer(x, z) {
+		t.Errorf("chain should close transitively: x ⪯ z")
+	}
+	if got := len(Preferences(a)); got != 2 {
+		t.Errorf("chain should assert adjacent pairs only: got %d", got)
+	}
+}
+
+// TestBackupRoutingStructure: higher avoidance levels are strictly less
+// preferred, and backup links bump the level.
+func TestBackupRoutingStructure(t *testing.T) {
+	b := BackupRouting(2)
+	l0 := SigPair{A: SigC, B: Num(0)}
+	l1 := SigPair{A: SigP, B: Num(1)}
+	if !b.Prefer(l0, l1) || b.Prefer(l1, l0) {
+		t.Errorf("level 0 must be strictly preferred to level 1")
+	}
+	got := b.Concat(LSym("b"), SigPair{A: SigC, B: Num(0)})
+	if got != (SigPair{A: SigP, B: Num(1)}) {
+		t.Errorf("backup link should bump the avoidance level, got %v", got)
+	}
+	// Level-capped routes are prohibited.
+	if got := b.Concat(LSym("b"), SigPair{A: SigC, B: Num(2)}); !IsProhibited(got) {
+		t.Errorf("level beyond the cap must be prohibited, got %v", got)
+	}
+}
+
+// TestReverseInvolution (property): Reverse is an involution for every
+// built-in algebra.
+func TestReverseInvolution(t *testing.T) {
+	for _, a := range []Algebra{GaoRexfordA(), GaoRexfordB(), BackupRouting(2), GaoRexfordWithHopCount()} {
+		for _, l := range a.Labels() {
+			if got := a.Reverse(a.Reverse(l)); got != l {
+				t.Errorf("%s: Reverse(Reverse(%s)) = %s", a.Name(), l, got)
+			}
+		}
+	}
+}
+
+// TestPreferReflexiveTransitive (property, testing/quick): the preference
+// relation of the product algebra is reflexive, and Best never returns a
+// strictly-dominated candidate.
+func TestPreferReflexiveTransitive(t *testing.T) {
+	p := GaoRexfordWithHopCount()
+	classes := []Sig{SigC, SigP, SigR}
+	gen := func(r *rand.Rand) Sig {
+		return SigPair{A: classes[r.Intn(3)], B: Num(1 + r.Intn(9))}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := gen(r)
+		if !p.Prefer(s, s) {
+			return false
+		}
+		cands := []Sig{gen(r), gen(r), gen(r), gen(r)}
+		best := Best(p, cands)
+		for _, c := range cands {
+			if p.Prefer(c, best) && !p.Prefer(best, c) {
+				return false // a candidate strictly dominates the winner
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFormatCoversOperators: the diagnostic rendering includes all tables.
+func TestFormatCoversOperators(t *testing.T) {
+	out := Format(GaoRexfordA())
+	for _, want := range []string{"⊕P", "⊕I", "⊕E", "⪯", "gao-rexford-a"} {
+		if !contains(out, want) {
+			t.Errorf("Format output missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,270 @@
+package algebra
+
+import "fmt"
+
+// HopCount is the shortest hop-count algebra from §II-A of the paper:
+// Σ = ℕ (path length), ⪯ = ≤, L = {1}, ⊕ = +. Its signature universe is
+// infinite, so Sigs returns nil and the safety analysis uses the ClosedForm
+// interface to emit the quantified constraint  forall s. s < s + 1.
+type HopCount struct{}
+
+var (
+	_ Algebra    = HopCount{}
+	_ ClosedForm = HopCount{}
+)
+
+// Name implements Algebra.
+func (HopCount) Name() string { return "shortest-hop-count" }
+
+// Sigs implements Algebra: nil marks the universe as infinite.
+func (HopCount) Sigs() []Sig { return nil }
+
+// Labels implements Algebra: every link is one hop.
+func (HopCount) Labels() []Label { return []Label{LNum(1)} }
+
+// Prefer implements Algebra: shorter paths are preferred (≤ on ℕ).
+func (HopCount) Prefer(a, b Sig) bool {
+	if IsProhibited(b) {
+		return true
+	}
+	if IsProhibited(a) {
+		return false
+	}
+	x, xok := a.(Num)
+	y, yok := b.(Num)
+	return xok && yok && x <= y
+}
+
+// Concat implements Algebra: ⊕ is addition of the link cost.
+func (HopCount) Concat(l Label, s Sig) Sig {
+	n, ok := l.(LNum)
+	if !ok {
+		return Prohibited
+	}
+	v, ok := s.(Num)
+	if !ok {
+		return Prohibited
+	}
+	return Num(int(v) + int(n))
+}
+
+// Import implements Algebra: hop count has no import filtering.
+func (HopCount) Import(Label, Sig) bool { return true }
+
+// Export implements Algebra: hop count has no export filtering.
+func (HopCount) Export(Label, Sig) bool { return true }
+
+// Reverse implements Algebra: links are symmetric.
+func (HopCount) Reverse(l Label) Label { return l }
+
+// Origin implements Algebra: a one-hop path has length equal to the link cost.
+func (HopCount) Origin(l Label) Sig {
+	if n, ok := l.(LNum); ok {
+		return Num(int(n))
+	}
+	return Prohibited
+}
+
+// ConcatDelta implements ClosedForm: Concat(l, s) = s + l.
+func (HopCount) ConcatDelta(l Label) (int, bool) {
+	n, ok := l.(LNum)
+	return int(n), ok
+}
+
+// IGPCost is shortest-path routing over weighted links (the intra-AS route
+// preference of §VI-B: lowest IGP cost to the egress wins). It is HopCount
+// generalized to a declared set of link weights.
+type IGPCost struct {
+	// Weights is the set of link costs appearing in the topology. It only
+	// affects Labels (and hence the constraints the analysis enumerates);
+	// Concat accepts any LNum.
+	Weights []int
+}
+
+var (
+	_ Algebra    = IGPCost{}
+	_ ClosedForm = IGPCost{}
+)
+
+// Name implements Algebra.
+func (IGPCost) Name() string { return "igp-cost" }
+
+// Sigs implements Algebra: infinite universe.
+func (IGPCost) Sigs() []Sig { return nil }
+
+// Labels implements Algebra.
+func (g IGPCost) Labels() []Label {
+	if len(g.Weights) == 0 {
+		return []Label{LNum(1)}
+	}
+	out := make([]Label, len(g.Weights))
+	for i, w := range g.Weights {
+		out[i] = LNum(w)
+	}
+	return out
+}
+
+// Prefer implements Algebra: lower total cost preferred.
+func (IGPCost) Prefer(a, b Sig) bool { return HopCount{}.Prefer(a, b) }
+
+// Concat implements Algebra.
+func (IGPCost) Concat(l Label, s Sig) Sig { return HopCount{}.Concat(l, s) }
+
+// Import implements Algebra.
+func (IGPCost) Import(Label, Sig) bool { return true }
+
+// Export implements Algebra.
+func (IGPCost) Export(Label, Sig) bool { return true }
+
+// Reverse implements Algebra.
+func (IGPCost) Reverse(l Label) Label { return l }
+
+// Origin implements Algebra.
+func (IGPCost) Origin(l Label) Sig { return HopCount{}.Origin(l) }
+
+// ConcatDelta implements ClosedForm.
+func (IGPCost) ConcatDelta(l Label) (int, bool) { return HopCount{}.ConcatDelta(l) }
+
+// Gao-Rexford signature and label constants (§II-B). Routes learned from a
+// customer, provider or peer carry signature C, P or R; links to a customer,
+// provider or peer carry label c, p or r.
+var (
+	SigC = Symbol("C")
+	SigP = Symbol("P")
+	SigR = Symbol("R")
+	LabC = LSym("c")
+	LabP = LSym("p")
+	LabR = LSym("r")
+)
+
+// GaoRexfordA builds the Gao-Rexford "guideline A" algebra of §II-B:
+// customer routes strictly preferred to peer and provider routes (C ≺ P,
+// C ≺ R, P = R), new signatures determined by the link class, and the
+// export policy of Figure 2 (only customer routes are exported to providers
+// and peers; everything is exported to customers).
+//
+// As the paper shows (§IV-C), this algebra is monotonic but not *strictly*
+// monotonic: the entry c ⊕ C = C yields the unsatisfiable constraint C < C.
+// Compose it with a strictly monotonic tie-breaker (GaoRexfordWithHopCount)
+// to obtain a provably safe policy.
+func GaoRexfordA() *Tabular {
+	return NewBuilder("gao-rexford-a").
+		Sigs(SigC, SigP, SigR).
+		Labels(LabC, LabP, LabR).
+		// Route preferences: C ≺ P, C ≺ R, P = R.
+		Prefer(SigC, SigP).
+		Prefer(SigC, SigR).
+		Equal(SigP, SigR).
+		// ⊕P: the new signature depends only on the link class (center
+		// table of §III-A).
+		ConcatAll(LabC, SigC).
+		ConcatAll(LabR, SigR).
+		ConcatAll(LabP, SigP).
+		// ⊕E, keyed by the *exporter's* label for the link (label p = link
+		// to a provider): a node exports only customer routes to providers
+		// and peers, and everything to customers (Figure 2). Note the
+		// paper's printed ⊕E table is keyed by the receiver-side label and
+		// is inconsistent with its own combined-⊕ construction (which
+		// applies l̄ to ⊕E); this encoding keeps the construction and
+		// reproduces the paper's combined ⊕ table exactly.
+		Export(LabP, SigP, false).
+		Export(LabP, SigR, false).
+		Export(LabR, SigP, false).
+		Export(LabR, SigR, false).
+		// Business relationships are bilateral: c̄ = p, r̄ = r.
+		Reverse(LabC, LabP).
+		// Origination: a one-hop route over a customer link is a customer
+		// route, and so on.
+		Origin(LabC, SigC).
+		Origin(LabP, SigP).
+		Origin(LabR, SigR).
+		MustBuild()
+}
+
+// GaoRexfordB builds "guideline B" of Gao-Rexford: customer and peer routes
+// both strictly preferred to provider routes (C = R ≺ P), with the same
+// export discipline as guideline A. Like guideline A it is monotonic but not
+// strictly monotonic.
+func GaoRexfordB() *Tabular {
+	return NewBuilder("gao-rexford-b").
+		Sigs(SigC, SigP, SigR).
+		Labels(LabC, LabP, LabR).
+		Prefer(SigC, SigP).
+		Prefer(SigR, SigP).
+		Equal(SigC, SigR).
+		ConcatAll(LabC, SigC).
+		ConcatAll(LabR, SigR).
+		ConcatAll(LabP, SigP).
+		Export(LabP, SigP, false).
+		Export(LabP, SigR, false).
+		Export(LabR, SigP, false).
+		Export(LabR, SigR, false).
+		Reverse(LabC, LabP).
+		Origin(LabC, SigC).
+		Origin(LabP, SigP).
+		Origin(LabR, SigR).
+		MustBuild()
+}
+
+// BackupRouting builds a safe-backup-routing algebra in the style of
+// Gao, Griffin and Rexford [8]: signatures carry the route class together
+// with an avoidance level 0..MaxLevel that may only increase as routes cross
+// backup links, and higher avoidance levels are strictly less preferred.
+// The paper reports analyzing such guidelines with FSR (§IV-C).
+func BackupRouting(maxLevel int) *Tabular {
+	if maxLevel < 1 {
+		maxLevel = 1
+	}
+	name := fmt.Sprintf("backup-routing-%d", maxLevel)
+	lvl := func(class Symbol, k int) Sig { return SigPair{A: class, B: Num(k)} }
+	bl := NewBuilder(name)
+	var sigs []Sig
+	for k := 0; k <= maxLevel; k++ {
+		sigs = append(sigs, lvl(SigC, k), lvl(SigR, k), lvl(SigP, k))
+	}
+	bl.Sigs(sigs...)
+	backup := LSym("b") // backup link: bumps the avoidance level
+	bl.Labels(LabC, LabP, LabR, backup)
+	// Preference: lower avoidance level strictly first; within a level the
+	// guideline-A ordering (C ≺ P, C ≺ R, P = R).
+	for k := 0; k <= maxLevel; k++ {
+		bl.Prefer(lvl(SigC, k), lvl(SigP, k))
+		bl.Prefer(lvl(SigC, k), lvl(SigR, k))
+		bl.Equal(lvl(SigP, k), lvl(SigR, k))
+		for j := k + 1; j <= maxLevel; j++ {
+			for _, ci := range []Symbol{SigC, SigR, SigP} {
+				for _, cj := range []Symbol{SigC, SigR, SigP} {
+					bl.Prefer(lvl(ci, k), lvl(cj, j))
+				}
+			}
+		}
+	}
+	// ⊕P: class determined by link label; avoidance level preserved on
+	// normal links, incremented on backup links (capped paths prohibited).
+	for k := 0; k <= maxLevel; k++ {
+		for _, cls := range []Symbol{SigC, SigR, SigP} {
+			bl.Concat(LabC, lvl(cls, k), lvl(SigC, k))
+			bl.Concat(LabR, lvl(cls, k), lvl(SigR, k))
+			bl.Concat(LabP, lvl(cls, k), lvl(SigP, k))
+			if k < maxLevel {
+				bl.Concat(backup, lvl(cls, k), lvl(SigP, k+1))
+			}
+		}
+	}
+	// ⊕E: guideline-A export discipline applies at every avoidance level
+	// (keyed by the exporter's label: block non-customer routes on links to
+	// providers and peers); backup links export everything — that is their
+	// purpose.
+	for k := 0; k <= maxLevel; k++ {
+		for _, cls := range []Symbol{SigR, SigP} {
+			bl.Export(LabP, lvl(cls, k), false)
+			bl.Export(LabR, lvl(cls, k), false)
+		}
+	}
+	bl.Reverse(LabC, LabP)
+	bl.Origin(LabC, lvl(SigC, 0))
+	bl.Origin(LabP, lvl(SigP, 0))
+	bl.Origin(LabR, lvl(SigR, 0))
+	bl.Origin(backup, lvl(SigP, 1))
+	return bl.MustBuild()
+}

@@ -1,0 +1,150 @@
+package algebra
+
+// Product is the lexical product A ⊗ B of two algebras (§II-A): signatures
+// and labels are pairs, concatenation is pairwise, and preference compares
+// the A components first, falling back to the B components on a tie.
+//
+// The composition rule the safety analysis exploits (§IV-B): if A is strictly
+// monotonic the product is safe; if A is monotonic and B strictly monotonic
+// the product is safe; otherwise it is deemed unsafe. The canonical use is
+// GaoRexfordWithHopCount: guideline A (monotonic) composed with shortest
+// hop-count (strictly monotonic) as the tie-breaker.
+//
+// A Product of two finite algebras is finite; if either factor is
+// closed-form the product's Sigs returns nil and the analysis falls back to
+// analyzing the factors separately (which the composition rule makes
+// sufficient).
+type Product struct {
+	First, Second Algebra
+}
+
+var _ Algebra = Product{}
+
+// NewProduct builds the lexical product A ⊗ B.
+func NewProduct(a, b Algebra) Product { return Product{First: a, Second: b} }
+
+// GaoRexfordWithHopCount is the paper's running example of a provably safe
+// composition (§IV-C, §VI-A): guideline A with shortest hop-count as the
+// tie-breaker.
+func GaoRexfordWithHopCount() Product {
+	return NewProduct(GaoRexfordA(), HopCount{})
+}
+
+// Name implements Algebra.
+func (p Product) Name() string { return p.First.Name() + "⊗" + p.Second.Name() }
+
+// Sigs implements Algebra: the cross product of the factors' universes, or
+// nil if either factor is infinite.
+func (p Product) Sigs() []Sig {
+	as, bs := p.First.Sigs(), p.Second.Sigs()
+	if as == nil || bs == nil {
+		return nil
+	}
+	out := make([]Sig, 0, len(as)*len(bs))
+	for _, a := range as {
+		for _, b := range bs {
+			out = append(out, SigPair{A: a, B: b})
+		}
+	}
+	return out
+}
+
+// Labels implements Algebra.
+func (p Product) Labels() []Label {
+	as, bs := p.First.Labels(), p.Second.Labels()
+	out := make([]Label, 0, len(as)*len(bs))
+	for _, a := range as {
+		for _, b := range bs {
+			out = append(out, LabelPair{A: a, B: b})
+		}
+	}
+	return out
+}
+
+// split unwraps a product signature; a φ or foreign signature yields ok=false.
+func split(s Sig) (SigPair, bool) {
+	sp, ok := s.(SigPair)
+	return sp, ok
+}
+
+// Prefer implements Algebra: lexical order. (a1,a2) ⪯ (b1,b2) iff a1 ≺ b1,
+// or a1 and b1 are equally preferred and a2 ⪯ b2.
+func (p Product) Prefer(a, b Sig) bool {
+	if IsProhibited(b) {
+		return true
+	}
+	if IsProhibited(a) {
+		return false
+	}
+	x, okx := split(a)
+	y, oky := split(b)
+	if !okx || !oky {
+		return false
+	}
+	firstEq := p.First.Prefer(x.A, y.A) && p.First.Prefer(y.A, x.A)
+	if firstEq {
+		return p.Second.Prefer(x.B, y.B)
+	}
+	return p.First.Prefer(x.A, y.A) && !p.First.Prefer(y.A, x.A)
+}
+
+// Concat implements Algebra: pairwise concatenation; a φ in either component
+// prohibits the pair.
+func (p Product) Concat(l Label, s Sig) Sig {
+	lp, ok := l.(LabelPair)
+	if !ok {
+		return Prohibited
+	}
+	sp, ok := split(s)
+	if !ok {
+		return Prohibited
+	}
+	ra := p.First.Concat(lp.A, sp.A)
+	rb := p.Second.Concat(lp.B, sp.B)
+	if IsProhibited(ra) || IsProhibited(rb) {
+		return Prohibited
+	}
+	return SigPair{A: ra, B: rb}
+}
+
+// Import implements Algebra: a route is imported iff both components import.
+func (p Product) Import(l Label, s Sig) bool {
+	lp, lok := l.(LabelPair)
+	sp, sok := split(s)
+	if !lok || !sok {
+		return false
+	}
+	return p.First.Import(lp.A, sp.A) && p.Second.Import(lp.B, sp.B)
+}
+
+// Export implements Algebra: a route is exported iff both components export.
+func (p Product) Export(l Label, s Sig) bool {
+	lp, lok := l.(LabelPair)
+	sp, sok := split(s)
+	if !lok || !sok {
+		return false
+	}
+	return p.First.Export(lp.A, sp.A) && p.Second.Export(lp.B, sp.B)
+}
+
+// Reverse implements Algebra: componentwise.
+func (p Product) Reverse(l Label) Label {
+	lp, ok := l.(LabelPair)
+	if !ok {
+		return l
+	}
+	return LabelPair{A: p.First.Reverse(lp.A), B: p.Second.Reverse(lp.B)}
+}
+
+// Origin implements Algebra: componentwise; φ in either component prohibits.
+func (p Product) Origin(l Label) Sig {
+	lp, ok := l.(LabelPair)
+	if !ok {
+		return Prohibited
+	}
+	oa, ob := p.First.Origin(lp.A), p.Second.Origin(lp.B)
+	if IsProhibited(oa) || IsProhibited(ob) {
+		return Prohibited
+	}
+	return SigPair{A: oa, B: ob}
+}

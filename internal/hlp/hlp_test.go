@@ -1,0 +1,177 @@
+package hlp
+
+import (
+	"testing"
+	"time"
+
+	"fsr/internal/simnet"
+	"fsr/internal/trace"
+)
+
+// twoDomains wires a 2-domain, 3-routers-per-domain network:
+//
+//	D0: a0 — a1 — a2     D1: b0 — b1 — b2
+//	cross link: a2 — b0
+//
+// with D0's root a0 originating domain D0.
+func twoDomains(t *testing.T, hiding int) (*simnet.Network, map[simnet.NodeID]*Node, *trace.Collector) {
+	t.Helper()
+	col := trace.NewCollector(10 * time.Millisecond)
+	net := simnet.New(1, col)
+	domains := map[string]string{
+		"a0": "D0", "a1": "D0", "a2": "D0",
+		"b0": "D1", "b1": "D1", "b2": "D1",
+	}
+	links := [][3]any{
+		{"a0", "a1", 2}, {"a1", "a2", 3},
+		{"b0", "b1", 1}, {"b1", "b2", 4},
+		{"a2", "b0", 10},
+	}
+	neighbors := map[string]map[string]int{}
+	for _, l := range links {
+		a, b, w := l[0].(string), l[1].(string), l[2].(int)
+		if neighbors[a] == nil {
+			neighbors[a] = map[string]int{}
+		}
+		if neighbors[b] == nil {
+			neighbors[b] = map[string]int{}
+		}
+		neighbors[a][b] = w
+		neighbors[b][a] = w
+	}
+	nodes := map[simnet.NodeID]*Node{}
+	for n, dom := range domains {
+		domOf := map[simnet.NodeID]string{}
+		weight := map[simnet.NodeID]int{}
+		for nb, w := range neighbors[n] {
+			domOf[simnet.NodeID(nb)] = domains[nb]
+			weight[simnet.NodeID(nb)] = w
+		}
+		cfg := Config{
+			Domain:        dom,
+			DomainOf:      domOf,
+			Weight:        weight,
+			CostHiding:    hiding,
+			BatchInterval: 10 * time.Millisecond,
+			StartStagger:  5 * time.Millisecond,
+		}
+		if n == "a0" {
+			cfg.OriginDomains = []string{"D0"}
+		}
+		hn := NewNode(cfg)
+		nodes[simnet.NodeID(n)] = hn
+		if err := net.AddNode(simnet.NodeID(n), hn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range links {
+		if err := net.Connect(simnet.NodeID(l[0].(string)), simnet.NodeID(l[1].(string)), simnet.DefaultLink()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, nodes, col
+}
+
+// TestHLPConvergesAndRoutes: every router of both domains learns a route to
+// D0 with the correct domain path, and internal paths stay hidden (domain
+// paths only).
+func TestHLPConvergesAndRoutes(t *testing.T) {
+	net, nodes, _ := twoDomains(t, 0)
+	res := net.Run(5 * time.Second)
+	if !res.Converged {
+		t.Fatalf("HLP should converge")
+	}
+	for id, n := range nodes {
+		best, ok := n.Best("D0")
+		if !ok {
+			t.Errorf("%s has no route to D0", id)
+			continue
+		}
+		for _, d := range best.DomainPath {
+			if d != "D0" && d != "D1" {
+				t.Errorf("%s: domain path leaks non-domain element %q", id, d)
+			}
+		}
+	}
+	// D1 routers see D0 via the fragment [D0]: the path crossing into D1
+	// is what their border advertised.
+	b2, _ := nodes["b2"].Best("D0")
+	if len(b2.DomainPath) != 1 || b2.DomainPath[0] != "D0" {
+		t.Errorf("b2's route should carry fragment [D0], got %v", b2.DomainPath)
+	}
+}
+
+// TestHLPCostsReflectIGP: the selected cost combines the advertised border
+// cost with the internal link-state distance.
+func TestHLPCostsReflectIGP(t *testing.T) {
+	net, nodes, _ := twoDomains(t, 0)
+	net.Run(5 * time.Second)
+	// a2's distance to a0 is 2+3 = 5 over the LSDB.
+	a2 := nodes["a2"]
+	d, ok := a2.internalDist("a0")
+	if !ok || d != 5 {
+		t.Errorf("a2→a0 internal distance = %d, %v; want 5", d, ok)
+	}
+	best, ok := a2.Best("D0")
+	if !ok {
+		t.Fatalf("a2 lost its route")
+	}
+	if c, ok := a2.totalCost(best); !ok || c != 5 {
+		t.Errorf("a2's total cost to D0 = %d, want 5", c)
+	}
+}
+
+// TestCostHidingReducesTraffic: with a hiding threshold the run sends no
+// more (strictly fewer or equal) external updates.
+func TestCostHidingReducesTraffic(t *testing.T) {
+	net1, _, col1 := twoDomains(t, 0)
+	net1.Run(5 * time.Second)
+	net2, nodes2, col2 := twoDomains(t, 5)
+	res := net2.Run(5 * time.Second)
+	if !res.Converged {
+		t.Fatalf("HLP-CH should converge")
+	}
+	m1, _ := col1.Totals()
+	m2, _ := col2.Totals()
+	if m2 > m1 {
+		t.Errorf("cost hiding should not increase traffic: %d vs %d", m2, m1)
+	}
+	// Routing still works under hiding.
+	if _, ok := nodes2["b2"].Best("D0"); !ok {
+		t.Errorf("b2 lost reachability under cost hiding")
+	}
+}
+
+// TestLSDBFloodTerminates: every node ends with the full intra-domain LSDB.
+func TestLSDBFloodTerminates(t *testing.T) {
+	net, nodes, _ := twoDomains(t, 0)
+	net.Run(5 * time.Second)
+	for _, id := range []simnet.NodeID{"a0", "a1", "a2"} {
+		if got := len(nodes[id].lsdb); got != 3 {
+			t.Errorf("%s LSDB has %d entries, want 3", id, got)
+		}
+	}
+	// LSAs never leak across domains.
+	for _, id := range []simnet.NodeID{"b0", "b1", "b2"} {
+		for origin := range nodes[id].lsdb {
+			if origin[0] != 'b' {
+				t.Errorf("%s holds foreign LSA from %s", id, origin)
+			}
+		}
+	}
+}
+
+// TestNDlogListing: the declarative HLP parses and has the paper's rule
+// census — 10 mechanism rules plus 1 cost-hiding rule (§VI-D).
+func TestNDlogListing(t *testing.T) {
+	prog := NDlogProgram()
+	if got := len(prog.Rules); got != 11 {
+		t.Fatalf("want 10+1 rules as in the paper, got %d", got)
+	}
+	if prog.Rules[len(prog.Rules)-1].Label != "hlpHide" {
+		t.Errorf("rule 11 should be the hiding variant, got %s", prog.Rules[len(prog.Rules)-1].Label)
+	}
+	if _, ok := prog.Table("fpv"); !ok {
+		t.Errorf("fpv table should be materialized")
+	}
+}

@@ -1,0 +1,42 @@
+package hlp
+
+import "fsr/internal/ndlog"
+
+// NDlogListing is the declarative form of HLP the paper describes in §VI-D
+// ("We implement HLP in NDlog by using just 10 rules — 11 rules if we also
+// specify that internal paths are hidden"). The first ten rules are the
+// mechanism: intra-domain link-state flooding and distance computation,
+// FPV adoption at borders, internal distribution, selection, and external
+// re-advertisement. Rule 11 (hlpHide) is the internal-path hiding variant
+// of the export rule. The native implementation in this package mirrors
+// these rules; the listing is kept canonical so it parses with the ndlog
+// package and the rule count is testable.
+const NDlogListing = `
+materialize(lsa, 3, keys(1,2)).
+materialize(linkDist, 3, keys(1,2)).
+materialize(fpv, 5, keys(1,2,3)).
+materialize(bestFPV, 5, keys(1,2)).
+
+hlpLSAGen lsa(@U,U,A) :- adjacency(@U,A).
+hlpLSAFlood lsa(@N,O,A) :- lsa(@U,O,A), intraNeighbor(@U,N), N!=O.
+hlpDistInit linkDist(@U,U,0) :- adjacency(@U,A).
+hlpDistStep linkDist(@U,T,DNew) :- lsa(@U,O,A), linkDist(@U,O,D),
+	T=f_adjNode(A), W=f_adjWeight(A), DNew=f_sum(D,W).
+hlpAdopt fpv(@U,Dst,Path,C,U) :- efpv(@U,V,Dst,Path,C), f_domainLoop(Path)==false.
+hlpDistribute fpv(@N,Dst,Path,C,B) :- fpv(@U,Dst,Path,C,B), intraNeighbor(@U,N).
+hlpTotal fpvCost(@U,Dst,Path,B,T) :- fpv(@U,Dst,Path,C,B), linkDist(@U,B,D),
+	T=f_sum(C,D).
+hlpSelect bestFPV(@U,Dst,a_cost<T>,Path,B) :- fpvCost(@U,Dst,Path,B,T).
+hlpExport efpv(@P,U,Dst,PathNew,T) :- bestFPV(@U,Dst,T,Path,B),
+	interNeighbor(@U,P), PathNew=f_appendDomain(Path).
+hlpOriginate fpv(@U,Dst,Path,0,U) :- originDomain(@U,Dst), Path=f_emptyPath(U).
+hlpHide efpv(@P,U,Dst,PathNew,T) :- bestFPV(@U,Dst,T,Path,B),
+	interNeighbor(@U,P), PathNew=f_appendDomain(Path),
+	f_costDelta(U,P,Dst,T)>=f_hideThreshold(U).
+`
+
+// NDlogProgram parses the canonical listing (panics only on a programming
+// error in the constant).
+func NDlogProgram() *ndlog.Program {
+	return ndlog.MustParse("hlp", NDlogListing)
+}

@@ -1,0 +1,182 @@
+// Package ndlog implements the Network Datalog (NDlog) layer of FSR (§V of
+// the paper): the language AST, a parser and pretty-printer for the
+// concrete syntax the paper uses, and the automatic translation from
+// routing algebra to an executable NDlog program (the GPV program plus the
+// four policy functions of Table II: f_pref, f_concatSig, f_import,
+// f_export). The engine package executes these programs over simnet,
+// substituting for the RapidNet declarative networking engine.
+package ndlog
+
+import "fmt"
+
+// Value is a runtime value flowing through NDlog tuples: string, int, bool
+// or List (paths). Signatures travel in their rendered (string) form.
+type Value any
+
+// List is an NDlog list value (paths of node identifiers).
+type List []Value
+
+// Equal compares two values structurally.
+func Equal(a, b Value) bool {
+	la, oka := a.(List)
+	lb, okb := b.(List)
+	if oka != okb {
+		return false
+	}
+	if oka {
+		if len(la) != len(lb) {
+			return false
+		}
+		for i := range la {
+			if !Equal(la[i], lb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return a == b
+}
+
+// Program is a parsed or generated NDlog program.
+type Program struct {
+	// Name identifies the program (e.g. "gpv-gao-rexford-a").
+	Name string
+	// Materialized declares the keyed tables (RapidNet's materialize()).
+	Materialized []TableDecl
+	// Rules are the derivation rules in source order.
+	Rules []Rule
+	// Funcs are the policy functions referenced by the rules. Generated
+	// programs carry both display text and a compiled Go implementation.
+	Funcs []FuncDef
+}
+
+// Func returns the function definition by name.
+func (p *Program) Func(name string) (FuncDef, bool) {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FuncDef{}, false
+}
+
+// Table returns the table declaration for a predicate.
+func (p *Program) Table(pred string) (TableDecl, bool) {
+	for _, t := range p.Materialized {
+		if t.Name == pred {
+			return t, true
+		}
+	}
+	return TableDecl{}, false
+}
+
+// TableDecl declares a materialized table. Keys index the primary-key
+// argument positions (0-based); inserting a row with an existing key
+// replaces the old row (RapidNet's materialized-table semantics, which give
+// BGP's implicit withdraw when routes are keyed by neighbor).
+type TableDecl struct {
+	Name  string
+	Arity int
+	Keys  []int
+}
+
+// Rule is one NDlog rule: Head :- Body.
+type Rule struct {
+	// Label is the rule name (gpvRecv, gpvSelect, …).
+	Label string
+	Head  Atom
+	Body  []BodyTerm
+}
+
+// Atom is a predicate application. LocArg is the index of the argument
+// carrying the location specifier '@' (NDlog stores and routes tuples by
+// it); -1 means none.
+type Atom struct {
+	Pred   string
+	LocArg int
+	Args   []Expr
+}
+
+// BodyTerm is an element of a rule body: a predicate to join (Atom), an
+// assignment (X := expr), or a boolean condition.
+type BodyTerm interface{ bodyTerm() }
+
+func (Atom) bodyTerm()   {}
+func (Assign) bodyTerm() {}
+func (Cond) bodyTerm()   {}
+
+// Assign binds a fresh variable to an expression value.
+type Assign struct {
+	Var  string
+	Expr Expr
+}
+
+// Cond is a boolean guard; the rule fires only when it evaluates to true.
+type Cond struct {
+	Expr Expr
+}
+
+// Expr is an NDlog expression.
+type Expr interface{ expr() }
+
+// Var references a bound variable (upper-case initial in concrete syntax).
+type Var string
+
+// Str is a string constant (lower-case or quoted in concrete syntax).
+type Str string
+
+// Int is an integer constant.
+type Int int
+
+// Bool is a boolean constant.
+type Bool bool
+
+// Call applies a function (f_… built-ins or generated policy functions).
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// Cmp compares two expressions: ==, !=, <, <=, >, >=.
+type Cmp struct {
+	Op   string
+	L, R Expr
+}
+
+// Agg marks an aggregate head argument, e.g. a_pref<S>: the head groups by
+// the remaining arguments and keeps the row whose S is optimal under the
+// aggregate's comparator.
+type Agg struct {
+	Fn  string
+	Arg string
+}
+
+func (Var) expr()  {}
+func (Str) expr()  {}
+func (Int) expr()  {}
+func (Bool) expr() {}
+func (Call) expr() {}
+func (Cmp) expr()  {}
+func (Agg) expr()  {}
+
+// FuncDef is a policy or built-in function: Impl is what the engine calls;
+// Text is the §V-C style display form (may be empty for built-ins).
+type FuncDef struct {
+	Name   string
+	Params []string
+	Text   string
+	Impl   func(args []Value) (Value, error)
+}
+
+// AggDef is an aggregate comparator: Better reports whether row a should
+// replace row b as the group representative. Rows are full body rows
+// projected to the head arguments.
+type AggDef struct {
+	Name   string
+	Better func(a, b []Value) bool
+}
+
+// Errf formats evaluation errors with a consistent prefix.
+func Errf(format string, args ...any) error {
+	return fmt.Errorf("ndlog: "+format, args...)
+}

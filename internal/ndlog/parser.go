@@ -1,0 +1,374 @@
+package ndlog
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a program in the paper's concrete NDlog syntax: materialize
+// declarations, rules of the form `label head(args) :- body.`, with
+// location specifiers (@Arg), assignments (X=expr), conditions
+// (f(L,S)==true, also accepted with a single '=' as the paper writes them),
+// and head aggregates (a_pref<S>). Function definitions (#def_func) are
+// display-only and skipped; attach implementations via Funcs after parsing.
+func Parse(name, src string) (*Program, error) {
+	toks, err := lexNDlog(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &ndParser{toks: toks}
+	prog := &Program{Name: name}
+	for !p.eof() {
+		switch {
+		case p.peekIs("materialize"):
+			t, err := p.materialize()
+			if err != nil {
+				return nil, err
+			}
+			prog.Materialized = append(prog.Materialized, t)
+		default:
+			r, err := p.rule()
+			if err != nil {
+				return nil, err
+			}
+			prog.Rules = append(prog.Rules, r)
+		}
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for statically-known programs; it panics on error.
+func MustParse(name, src string) *Program {
+	p, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type ndToken struct {
+	kind string // ident, int, str, punct
+	text string
+	pos  int
+}
+
+func lexNDlog(src string) ([]ndToken, error) {
+	var toks []ndToken
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '#': // #def_func blocks are display-only: skip the line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, Errf("unterminated string at offset %d", i)
+			}
+			toks = append(toks, ndToken{kind: "str", text: src[i+1 : j], pos: i})
+			i = j + 1
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, ndToken{kind: "ident", text: src[i:j], pos: i})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, ndToken{kind: "int", text: src[i:j], pos: i})
+			i = j
+		default:
+			// Multi-character punctuation first.
+			for _, op := range []string{":-", "==", "!=", "<=", ">=", ":="} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, ndToken{kind: "punct", text: op, pos: i})
+					i += len(op)
+					goto next
+				}
+			}
+			if strings.ContainsRune("(),.@=<>", rune(c)) {
+				toks = append(toks, ndToken{kind: "punct", text: string(c), pos: i})
+				i++
+				goto next
+			}
+			return nil, Errf("unexpected character %q at offset %d", c, i)
+		next:
+		}
+	}
+	return toks, nil
+}
+
+type ndParser struct {
+	toks []ndToken
+	pos  int
+}
+
+func (p *ndParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *ndParser) peek() ndToken {
+	if p.eof() {
+		return ndToken{}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *ndParser) peekAt(off int) ndToken {
+	if p.pos+off >= len(p.toks) {
+		return ndToken{}
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *ndParser) peekIs(text string) bool { return p.peek().text == text }
+
+func (p *ndParser) next() ndToken {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *ndParser) expect(text string) error {
+	if t := p.next(); t.text != text {
+		return Errf("expected %q, got %q at offset %d", text, t.text, t.pos)
+	}
+	return nil
+}
+
+// materialize := "materialize" "(" name "," arity "," "keys" "(" ints ")" ")" "."
+// The arity argument may be omitted (inferred later) and extra RapidNet
+// lifetime arguments are tolerated and ignored.
+func (p *ndParser) materialize() (TableDecl, error) {
+	p.next() // materialize
+	if err := p.expect("("); err != nil {
+		return TableDecl{}, err
+	}
+	name := p.next()
+	if name.kind != "ident" {
+		return TableDecl{}, Errf("materialize: expected table name, got %q", name.text)
+	}
+	t := TableDecl{Name: name.text}
+	for {
+		tok := p.next()
+		switch {
+		case tok.text == ")":
+			if err := p.expect("."); err != nil {
+				return TableDecl{}, err
+			}
+			return t, nil
+		case tok.text == ",":
+			continue
+		case tok.kind == "int":
+			n, _ := strconv.Atoi(tok.text)
+			t.Arity = n
+		case tok.text == "keys":
+			if err := p.expect("("); err != nil {
+				return TableDecl{}, err
+			}
+			for {
+				k := p.next()
+				if k.kind == "int" {
+					n, _ := strconv.Atoi(k.text)
+					t.Keys = append(t.Keys, n-1) // concrete syntax is 1-based
+				} else if k.text == "," {
+					continue
+				} else if k.text == ")" {
+					break
+				} else {
+					return TableDecl{}, Errf("materialize keys: unexpected %q", k.text)
+				}
+			}
+		case tok.text == "infinity":
+			// RapidNet lifetime/size arguments: ignored.
+		default:
+			return TableDecl{}, Errf("materialize: unexpected %q", tok.text)
+		}
+	}
+}
+
+// rule := label atom ":-" body "."
+func (p *ndParser) rule() (Rule, error) {
+	label := p.next()
+	if label.kind != "ident" {
+		return Rule{}, Errf("expected rule label, got %q at offset %d", label.text, label.pos)
+	}
+	head, err := p.atom(true)
+	if err != nil {
+		return Rule{}, err
+	}
+	if err := p.expect(":-"); err != nil {
+		return Rule{}, err
+	}
+	var body []BodyTerm
+	for {
+		term, err := p.bodyTerm()
+		if err != nil {
+			return Rule{}, err
+		}
+		body = append(body, term)
+		tok := p.next()
+		if tok.text == "." {
+			break
+		}
+		if tok.text != "," {
+			return Rule{}, Errf("expected ',' or '.', got %q at offset %d", tok.text, tok.pos)
+		}
+	}
+	return Rule{Label: label.text, Head: head, Body: body}, nil
+}
+
+// atom parses pred(arg, …). In head position aggregates (a_pref<S>) are
+// allowed as arguments.
+func (p *ndParser) atom(head bool) (Atom, error) {
+	name := p.next()
+	if name.kind != "ident" {
+		return Atom{}, Errf("expected predicate, got %q at offset %d", name.text, name.pos)
+	}
+	a := Atom{Pred: name.text, LocArg: -1}
+	if err := p.expect("("); err != nil {
+		return Atom{}, err
+	}
+	for {
+		if p.peekIs(")") {
+			p.next()
+			return a, nil
+		}
+		if p.peekIs("@") {
+			p.next()
+			a.LocArg = len(a.Args)
+		}
+		// Head aggregate: ident '<' ident '>' followed by ',' or ')'.
+		if head && p.peek().kind == "ident" && p.peekAt(1).text == "<" &&
+			p.peekAt(2).kind == "ident" && p.peekAt(3).text == ">" {
+			fn := p.next().text
+			p.next() // <
+			arg := p.next().text
+			p.next() // >
+			a.Args = append(a.Args, Agg{Fn: fn, Arg: arg})
+		} else {
+			e, err := p.exprCmp()
+			if err != nil {
+				return Atom{}, err
+			}
+			a.Args = append(a.Args, e)
+		}
+		if p.peekIs(",") {
+			p.next()
+		}
+	}
+}
+
+// bodyTerm := Var "=" expr | atom | expr cmpOp expr | call "=" expr
+func (p *ndParser) bodyTerm() (BodyTerm, error) {
+	// Assignment: Var '=' … where Var has an upper-case initial.
+	if t := p.peek(); t.kind == "ident" && isVarName(t.text) && p.peekAt(1).text == "=" {
+		name := p.next().text
+		p.next() // =
+		e, err := p.exprCmp()
+		if err != nil {
+			return nil, err
+		}
+		return Assign{Var: name, Expr: e}, nil
+	}
+	// Predicate atom: ident '(' … with no trailing comparison.
+	if t := p.peek(); t.kind == "ident" && p.peekAt(1).text == "(" {
+		save := p.pos
+		a, err := p.atom(false)
+		if err == nil {
+			switch p.peek().text {
+			case "==", "!=", "<", "<=", ">", ">=", "=":
+				p.pos = save // a comparison over a call, not an atom
+			default:
+				return a, nil
+			}
+		} else {
+			p.pos = save
+		}
+	}
+	e, err := p.exprCmp()
+	if err != nil {
+		return nil, err
+	}
+	return Cond{Expr: e}, nil
+}
+
+// exprCmp := expr [cmpOp expr]; a single '=' is accepted as '=='.
+func (p *ndParser) exprCmp() (Expr, error) {
+	l, err := p.exprPrimary()
+	if err != nil {
+		return nil, err
+	}
+	op := p.peek().text
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		p.next()
+	case "=":
+		p.next()
+		op = "=="
+	default:
+		return l, nil
+	}
+	r, err := p.exprPrimary()
+	if err != nil {
+		return nil, err
+	}
+	return Cmp{Op: op, L: l, R: r}, nil
+}
+
+func (p *ndParser) exprPrimary() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == "int":
+		n, _ := strconv.Atoi(t.text)
+		return Int(n), nil
+	case t.kind == "str":
+		return Str(t.text), nil
+	case t.kind == "ident" && t.text == "true":
+		return Bool(true), nil
+	case t.kind == "ident" && t.text == "false":
+		return Bool(false), nil
+	case t.kind == "ident" && p.peekIs("("):
+		p.next() // (
+		call := Call{Fn: t.text}
+		for {
+			if p.peekIs(")") {
+				p.next()
+				return call, nil
+			}
+			a, err := p.exprCmp()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if p.peekIs(",") {
+				p.next()
+			}
+		}
+	case t.kind == "ident" && isVarName(t.text):
+		return Var(t.text), nil
+	case t.kind == "ident":
+		return Str(t.text), nil // lower-case bare idents are constants
+	default:
+		return nil, Errf("unexpected token %q at offset %d", t.text, t.pos)
+	}
+}
+
+// isVarName reports the NDlog convention: variables start upper-case.
+func isVarName(s string) bool {
+	return s != "" && unicode.IsUpper(rune(s[0]))
+}

@@ -1,0 +1,106 @@
+package ndlog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders programs in the paper's concrete syntax (§V-A), so the
+// generated GPV program can be displayed, diffed against the listings, and
+// re-parsed.
+
+// String renders the whole program: materialize declarations, rules, then
+// function definitions.
+func (p *Program) String() string {
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, "//%s program\n", p.Name)
+	}
+	for _, t := range p.Materialized {
+		keys := make([]string, len(t.Keys))
+		for i, k := range t.Keys {
+			keys[i] = fmt.Sprintf("%d", k+1) // concrete syntax is 1-based
+		}
+		fmt.Fprintf(&b, "materialize(%s, %d, keys(%s)).\n", t.Name, t.Arity, strings.Join(keys, ","))
+	}
+	if len(p.Materialized) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	for _, f := range p.Funcs {
+		if f.Text == "" {
+			continue
+		}
+		b.WriteByte('\n')
+		b.WriteString(f.Text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders one rule.
+func (r Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, t := range r.Body {
+		parts[i] = bodyTermString(t)
+	}
+	return fmt.Sprintf("%s %s :- %s.", r.Label, r.Head.String(), strings.Join(parts, ", "))
+}
+
+func bodyTermString(t BodyTerm) string {
+	switch v := t.(type) {
+	case Atom:
+		return v.String()
+	case Assign:
+		return v.Var + "=" + ExprString(v.Expr)
+	case Cond:
+		return ExprString(v.Expr)
+	default:
+		return fmt.Sprintf("?%T", t)
+	}
+}
+
+// String renders an atom with its location specifier.
+func (a Atom) String() string {
+	args := make([]string, len(a.Args))
+	for i, e := range a.Args {
+		s := ExprString(e)
+		if i == a.LocArg {
+			s = "@" + s
+		}
+		args[i] = s
+	}
+	return fmt.Sprintf("%s(%s)", a.Pred, strings.Join(args, ","))
+}
+
+// ExprString renders an expression in concrete syntax.
+func ExprString(e Expr) string {
+	switch v := e.(type) {
+	case Var:
+		return string(v)
+	case Str:
+		return fmt.Sprintf("%q", string(v))
+	case Int:
+		return fmt.Sprintf("%d", int(v))
+	case Bool:
+		if v {
+			return "true"
+		}
+		return "false"
+	case Call:
+		args := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", v.Fn, strings.Join(args, ","))
+	case Cmp:
+		return fmt.Sprintf("%s%s%s", ExprString(v.L), v.Op, ExprString(v.R))
+	case Agg:
+		return fmt.Sprintf("%s<%s>", v.Fn, v.Arg)
+	default:
+		return fmt.Sprintf("?%T", e)
+	}
+}

@@ -1,0 +1,427 @@
+// Package pathvector implements the Generalized Path Vector protocol of
+// §V-A natively in Go: a path-vector mechanism parameterized by a routing
+// algebra. It is the compiled counterpart of the NDlog GPV program — the
+// engine package executes the same four rules interpretively; this package
+// executes them directly, and the equivalence of the two is tested.
+//
+// Per-message semantics follow the GPV rules:
+//
+//	gpvRecv:   on an advertisement from V, apply the import filter
+//	           ⊕I over label(U→V); if imported, generate the new signature
+//	           with ⊕P and the new path (loop-checked).
+//	gpvStore:  keep the candidate route, keyed by (destination, neighbor) —
+//	           a neighbor's new advertisement replaces its old one, BGP's
+//	           implicit withdraw.
+//	gpvSelect: recompute the most preferred candidate with ⪯.
+//	gpvSend:   when the selection changes, schedule a (batched)
+//	           re-advertisement to every neighbor whose export filter ⊕E
+//	           over label(U→N) admits the route; neighbors that previously
+//	           received a now-filtered or withdrawn route get a withdraw.
+//
+// Label orientation: the *receiver* U of an advertisement from V evaluates
+// ⊕I and ⊕P over the label of its own link U→V; the *exporter* U sending to
+// N evaluates ⊕E over the label of U→N. This is the self-consistent reading
+// of the paper's §III-A operators (see DESIGN.md).
+package pathvector
+
+import (
+	"fmt"
+	"time"
+
+	"fsr/internal/algebra"
+	"fsr/internal/simnet"
+)
+
+// Advert is a route advertisement: dest D reachable via Path with signature
+// Sig. Origination announcements carry Origination=true and no signature —
+// the receiver derives the one-hop signature from the algebra's origination
+// set (§V-B step 4).
+type Advert struct {
+	Dest        simnet.NodeID
+	Path        []simnet.NodeID
+	SigKey      string // rendered signature (wire form)
+	Origination bool
+}
+
+// Withdraw revokes the sender's advertisement for Dest.
+type Withdraw struct {
+	Dest simnet.NodeID
+}
+
+// WireSize estimates the on-the-wire size of an advert: a fixed header plus
+// four bytes per path element, the granularity the bandwidth figures need.
+func (a Advert) WireSize() int { return 20 + 4*len(a.Path) }
+
+// WireSize of a withdraw: header only.
+func (w Withdraw) WireSize() int { return 24 }
+
+func init() {
+	simnet.RegisterPayload(Advert{})
+	simnet.RegisterPayload(Withdraw{})
+}
+
+// Route is a stored candidate route.
+type Route struct {
+	Dest simnet.NodeID
+	Path []simnet.NodeID
+	Sig  algebra.Sig
+}
+
+// Config parameterizes a GPV node.
+type Config struct {
+	// Algebra is the policy configuration.
+	Algebra algebra.Algebra
+	// Label returns the label of the directed link from→to. It must be
+	// defined for every adjacent pair.
+	Label func(from, to simnet.NodeID) algebra.Label
+	// Originations are the routes this node injects at start (externally
+	// learned routes in iBGP instances; self-destination announcements are
+	// covered by SelfOriginate instead).
+	Originations []Route
+	// SelfOriginate, when true, makes the node announce itself as a
+	// destination: neighbors derive the one-hop signature from the
+	// algebra's origination set. This is the eBGP-style full-mesh workload
+	// of §VI-A.
+	SelfOriginate bool
+	// BatchInterval batches route propagation (the paper configures 1 s in
+	// §VI-A). Zero sends immediately.
+	BatchInterval time.Duration
+	// StartStagger delays protocol start by a node-deterministic offset in
+	// [0, StartStagger), desynchronizing batch phases the way real routers
+	// are desynchronized. DISAGREE-style gadgets rely on it to escape the
+	// synchronous oscillation.
+	StartStagger time.Duration
+	// MaxPathLen, when positive, rejects adverts whose resulting path
+	// exceeds the cap — used by the §VI-B collection runs to bound the
+	// permitted-path harvest.
+	MaxPathLen int
+	// OnAdvert, when set, observes every imported (non-filtered)
+	// advertisement — the hook §VI-B uses to extract SPP instances from
+	// executions.
+	OnAdvert func(node simnet.NodeID, rt Route)
+	// SigFromKey recovers a signature from its wire rendering. Required
+	// because signatures travel as strings; the default understands the
+	// renderings of the built-in algebras via SigCodec.
+	SigFromKey func(key string) (algebra.Sig, bool)
+}
+
+// Node is a GPV protocol instance attached to one simnet node. Create with
+// NewNode; one Node per network node.
+type Node struct {
+	cfg Config
+	// routes[dest][neighbor] is the candidate learned from neighbor.
+	routes map[simnet.NodeID]map[simnet.NodeID]Route
+	// best[dest] is the current selection.
+	best map[simnet.NodeID]Route
+	// advertised[dest][neighbor] records what we last sent (implicit-
+	// withdraw bookkeeping).
+	advertised map[simnet.NodeID]map[simnet.NodeID]string
+	// dirty marks destinations whose selection changed since the last
+	// flush.
+	dirty map[simnet.NodeID]bool
+	// flushScheduled guards the batch timer.
+	flushScheduled bool
+	started        bool
+}
+
+var _ simnet.Handler = (*Node)(nil)
+
+// NewNode builds a GPV node from the configuration.
+func NewNode(cfg Config) *Node {
+	if cfg.SigFromKey == nil {
+		codec := NewSigCodec(cfg.Algebra)
+		cfg.SigFromKey = codec.FromKey
+	}
+	return &Node{
+		cfg:        cfg,
+		routes:     map[simnet.NodeID]map[simnet.NodeID]Route{},
+		best:       map[simnet.NodeID]Route{},
+		advertised: map[simnet.NodeID]map[simnet.NodeID]string{},
+		dirty:      map[simnet.NodeID]bool{},
+	}
+}
+
+// Best returns the node's current selection for dest.
+func (n *Node) Best(dest simnet.NodeID) (Route, bool) {
+	r, ok := n.best[dest]
+	return r, ok
+}
+
+// Routes returns the number of destinations with a selected route.
+func (n *Node) Routes() int { return len(n.best) }
+
+// Start implements simnet.Handler: inject originations and self-origination.
+func (n *Node) Start(env simnet.Env) {
+	start := func() {
+		n.started = true
+		for _, rt := range n.cfg.Originations {
+			n.routes[rt.Dest] = map[simnet.NodeID]Route{env.Self(): rt}
+			n.reselect(env, rt.Dest)
+		}
+		if n.cfg.SelfOriginate {
+			self := env.Self()
+			n.best[self] = Route{Dest: self, Path: []simnet.NodeID{self}}
+			n.dirty[self] = true
+			n.scheduleFlush(env)
+		}
+	}
+	if n.cfg.StartStagger > 0 {
+		d := time.Duration(env.Rand().Int63n(int64(n.cfg.StartStagger)))
+		env.Schedule(d, start)
+	} else {
+		start()
+	}
+}
+
+// Receive implements simnet.Handler: the gpvRecv rule.
+func (n *Node) Receive(env simnet.Env, from simnet.NodeID, payload any) {
+	switch m := payload.(type) {
+	case Advert:
+		n.receiveAdvert(env, from, m)
+	case Withdraw:
+		n.receiveWithdraw(env, from, m)
+	default:
+		panic(fmt.Sprintf("pathvector: unexpected payload %T", payload))
+	}
+}
+
+func (n *Node) receiveAdvert(env simnet.Env, from simnet.NodeID, adv Advert) {
+	self := env.Self()
+	// Path-vector loop prevention: reject adverts already containing us. A
+	// rejected advert still implicitly withdraws the neighbor's previous
+	// announcement (each UPDATE replaces the neighbor's prior route).
+	for _, hop := range adv.Path {
+		if hop == self {
+			n.dropCandidate(env, adv.Dest, from)
+			return
+		}
+	}
+	l := n.cfg.Label(self, from) // receiver-side label for link U→V
+	var sig algebra.Sig
+	if adv.Origination {
+		// One-hop route: signature from the origination set (§V-B step 4).
+		sig = n.cfg.Algebra.Origin(l)
+	} else {
+		prev, ok := n.cfg.SigFromKey(adv.SigKey)
+		if !ok {
+			// Unknown signature: treat as prohibited (and as an implicit
+			// withdraw of the neighbor's previous route).
+			n.dropCandidate(env, adv.Dest, from)
+			return
+		}
+		// gpvRecv: import filter, then signature generation.
+		if !n.cfg.Algebra.Import(l, prev) {
+			return
+		}
+		sig = n.cfg.Algebra.Concat(l, prev)
+	}
+	if algebra.IsProhibited(sig) {
+		// Filtered: if this neighbor previously contributed a candidate for
+		// the destination, its replacement advert revokes it.
+		n.dropCandidate(env, adv.Dest, from)
+		return
+	}
+	path := append([]simnet.NodeID{self}, adv.Path...)
+	if n.cfg.MaxPathLen > 0 && len(path) > n.cfg.MaxPathLen {
+		n.dropCandidate(env, adv.Dest, from)
+		return
+	}
+	rt := Route{Dest: adv.Dest, Path: path, Sig: sig}
+	if n.cfg.OnAdvert != nil {
+		n.cfg.OnAdvert(self, rt)
+	}
+	// gpvStore with (dest, neighbor) keying: implicit withdraw of the
+	// neighbor's previous advertisement.
+	if n.routes[adv.Dest] == nil {
+		n.routes[adv.Dest] = map[simnet.NodeID]Route{}
+	}
+	n.routes[adv.Dest][from] = rt
+	n.reselect(env, adv.Dest)
+}
+
+func (n *Node) receiveWithdraw(env simnet.Env, from simnet.NodeID, w Withdraw) {
+	n.dropCandidate(env, w.Dest, from)
+}
+
+func (n *Node) dropCandidate(env simnet.Env, dest, from simnet.NodeID) {
+	if cands := n.routes[dest]; cands != nil {
+		if _, had := cands[from]; had {
+			delete(cands, from)
+			n.reselect(env, dest)
+		}
+	}
+}
+
+// reselect implements gpvSelect: recompute the most preferred candidate.
+// Ties (equally preferred or unordered signatures) break deterministically
+// toward the shorter path, then the lexicographically smaller one — the
+// stand-in for BGP's final tie-breakers, which the algebra leaves open.
+func (n *Node) reselect(env simnet.Env, dest simnet.NodeID) {
+	var best Route
+	hasBest := false
+	cands := n.routes[dest]
+	for _, nb := range sortedNeighbors(cands) {
+		rt := cands[nb]
+		if !hasBest {
+			best, hasBest = rt, true
+			continue
+		}
+		if better(n.cfg.Algebra, rt, best) {
+			best = rt
+		}
+	}
+	prev, had := n.best[dest]
+	switch {
+	case !hasBest && !had:
+		return
+	case hasBest && had && prev.Sig == best.Sig && pathEqual(prev.Path, best.Path):
+		return
+	case hasBest:
+		n.best[dest] = best
+	default:
+		delete(n.best, dest)
+	}
+	n.dirty[dest] = true
+	n.scheduleFlush(env)
+}
+
+// better reports whether a should replace b as the selection.
+func better(alg algebra.Algebra, a, b Route) bool {
+	ab := alg.Prefer(a.Sig, b.Sig)
+	ba := alg.Prefer(b.Sig, a.Sig)
+	switch {
+	case ab && !ba:
+		return true
+	case ba && !ab:
+		return false
+	default:
+		// Equally preferred or unordered: deterministic tie-break.
+		if len(a.Path) != len(b.Path) {
+			return len(a.Path) < len(b.Path)
+		}
+		return pathLess(a.Path, b.Path)
+	}
+}
+
+// scheduleFlush arranges a batched gpvSend. With batching, at most one
+// flush timer is outstanding; without, the flush runs on the next event.
+// The batch timer is jittered by up to 50% in the manner of BGP MRAI
+// timer (RFC 4271 §9.2.1.1): without it, symmetric gadgets such as DISAGREE
+// stay in deterministic lockstep and never settle into a stable state.
+func (n *Node) scheduleFlush(env simnet.Env) {
+	if n.flushScheduled {
+		return
+	}
+	n.flushScheduled = true
+	d := n.cfg.BatchInterval
+	if d > 0 {
+		d += time.Duration(env.Rand().Int63n(int64(d)/2 + 1))
+	}
+	env.Schedule(d, func() {
+		n.flushScheduled = false
+		n.flush(env)
+	})
+}
+
+// flush implements gpvSend: advertise every dirty destination to every
+// neighbor admitted by the export filter, and withdraw from neighbors that
+// previously received a route we can no longer offer them.
+func (n *Node) flush(env simnet.Env) {
+	self := env.Self()
+	dests := sortedNeighbors(n.dirty)
+	n.dirty = map[simnet.NodeID]bool{}
+	for _, dest := range dests {
+		best, has := n.best[dest]
+		if n.advertised[dest] == nil {
+			n.advertised[dest] = map[simnet.NodeID]string{}
+		}
+		sent := n.advertised[dest]
+		for _, nb := range env.Neighbors() {
+			if nb == dest && n.cfg.SelfOriginate {
+				// Never advertise a node to itself.
+				continue
+			}
+			want := ""
+			var payload any
+			var size int
+			if has {
+				if dest == self && n.cfg.SelfOriginate {
+					// Origination announcement: signature derived by the
+					// receiver (§V-B step 4); not subject to ⊕E.
+					adv := Advert{Dest: dest, Path: best.Path, Origination: true}
+					want, payload, size = "origin:"+string(dest), adv, adv.WireSize()
+				} else if n.cfg.Algebra.Export(n.cfg.Label(self, nb), best.Sig) {
+					adv := Advert{Dest: dest, Path: best.Path, SigKey: sigKey(best.Sig)}
+					want, payload, size = adv.SigKey+"|"+pathKey(best.Path), adv, adv.WireSize()
+				}
+			}
+			prev, hadPrev := sent[nb]
+			if want == "" {
+				if hadPrev && prev != "" {
+					w := Withdraw{Dest: dest}
+					env.Send(nb, w, w.WireSize())
+					sent[nb] = ""
+				}
+				continue
+			}
+			if !hadPrev || prev != want {
+				env.Send(nb, payload, size)
+				sent[nb] = want
+			}
+		}
+	}
+}
+
+func sigKey(s algebra.Sig) string {
+	if s == nil {
+		return ""
+	}
+	return s.String()
+}
+
+func pathKey(p []simnet.NodeID) string {
+	out := ""
+	for _, n := range p {
+		out += string(n) + "/"
+	}
+	return out
+}
+
+func pathEqual(a, b []simnet.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pathLess(a, b []simnet.NodeID) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// sortedNeighbors returns map keys in sorted order for deterministic
+// iteration.
+func sortedNeighbors[V any](m map[simnet.NodeID]V) []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

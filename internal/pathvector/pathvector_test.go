@@ -1,0 +1,165 @@
+package pathvector
+
+import (
+	"testing"
+	"time"
+
+	"fsr/internal/simnet"
+	"fsr/internal/spp"
+)
+
+// runSPP executes an SPP instance under GPV in simulation mode.
+func runSPP(t *testing.T, in *spp.Instance, base Config, horizon time.Duration) (map[simnet.NodeID]*Node, simnet.RunResult) {
+	t.Helper()
+	conv, err := in.ToAlgebra()
+	if err != nil {
+		t.Fatalf("ToAlgebra(%s): %v", in.Name, err)
+	}
+	net := simnet.New(1, nil)
+	nodes, err := BuildSPP(net, conv, simnet.DefaultLink(), base)
+	if err != nil {
+		t.Fatalf("BuildSPP(%s): %v", in.Name, err)
+	}
+	return nodes, net.Run(horizon)
+}
+
+var testBase = Config{
+	BatchInterval: 20 * time.Millisecond,
+	StartStagger:  15 * time.Millisecond,
+}
+
+// TestGoodGadgetConverges: GOODGADGET converges, and node 1 ends on its
+// preferred (longer) path through node 3 — the route-recomputation behavior
+// §VI-C describes.
+func TestGoodGadgetConverges(t *testing.T) {
+	nodes, res := runSPP(t, spp.GoodGadget(), testBase, 10*time.Second)
+	if !res.Converged {
+		t.Fatalf("GOODGADGET should converge")
+	}
+	best, ok := nodes["1"].Best(SPPDest)
+	if !ok {
+		t.Fatalf("node 1 has no route")
+	}
+	want := []simnet.NodeID{"1", "3", "r3"}
+	if !pathEqual(best.Path, want) {
+		t.Errorf("node 1 selected %v, want %v", best.Path, want)
+	}
+}
+
+// TestBadGadgetOscillates: BADGADGET has no stable assignment, so the
+// network keeps exchanging updates to the horizon ("the protocol continued
+// to transmit a high rate of update messages indefinitely", §VI-C).
+func TestBadGadgetOscillates(t *testing.T) {
+	_, res := runSPP(t, spp.BadGadget(), testBase, 3*time.Second)
+	if res.Converged {
+		t.Fatalf("BADGADGET should not converge (took %v)", res.Time)
+	}
+	if res.Delivered < 100 {
+		t.Errorf("expected a sustained update rate, got only %d deliveries", res.Delivered)
+	}
+}
+
+// TestDisagreeConverges: DISAGREE oscillates transiently but converges to
+// one of its two stable states once the nodes desynchronize.
+func TestDisagreeConverges(t *testing.T) {
+	nodes, res := runSPP(t, spp.Disagree(), testBase, 10*time.Second)
+	if !res.Converged {
+		t.Fatalf("DISAGREE should eventually converge")
+	}
+	b1, ok1 := nodes["1"].Best(SPPDest)
+	b2, ok2 := nodes["2"].Best(SPPDest)
+	if !ok1 || !ok2 {
+		t.Fatalf("nodes lost their routes")
+	}
+	// Stable states: exactly one node gets its preferred indirect path.
+	oneIndirect := (len(b1.Path) == 3) != (len(b2.Path) == 3)
+	if !oneIndirect {
+		t.Errorf("not a stable state: 1→%v, 2→%v", b1.Path, b2.Path)
+	}
+}
+
+// TestFigure3GadgetOscillates: the Figure 3 iBGP gadget oscillates — each
+// reflector prefers another reflector's client, so route changes chase each
+// other around the reflector triangle.
+func TestFigure3GadgetOscillates(t *testing.T) {
+	_, res := runSPP(t, spp.Figure3IBGP(), testBase, 3*time.Second)
+	if res.Converged {
+		t.Fatalf("Figure 3 gadget should oscillate (converged at %v)", res.Time)
+	}
+}
+
+// TestFigure3FixedConverges: with the preference cycle removed, the same
+// topology converges, and every reflector selects its own client's route.
+func TestFigure3FixedConverges(t *testing.T) {
+	nodes, res := runSPP(t, spp.Figure3IBGPFixed(), testBase, 10*time.Second)
+	if !res.Converged {
+		t.Fatalf("fixed Figure 3 instance should converge")
+	}
+	for node, want := range map[simnet.NodeID][]simnet.NodeID{
+		"a": {"a", "d", "r1"},
+		"b": {"b", "e", "r2"},
+		"c": {"c", "f", "r3"},
+	} {
+		best, ok := nodes[node].Best(SPPDest)
+		if !ok {
+			t.Fatalf("node %s has no route", node)
+		}
+		if !pathEqual(best.Path, want) {
+			t.Errorf("node %s selected %v, want %v", node, best.Path, want)
+		}
+	}
+}
+
+// TestChainGadgetScales: safe chains converge for a range of sizes.
+func TestChainGadgetScales(t *testing.T) {
+	for _, n := range []int{2, 5, 10, 20} {
+		_, res := runSPP(t, spp.ChainGadget(n), testBase, 30*time.Second)
+		if !res.Converged {
+			t.Errorf("chain(%d) should converge", n)
+		}
+	}
+}
+
+// TestSafeConvergesMoreTrafficWithGadgets: more GOODGADGET route
+// recomputation means more messages but still convergence (§VI-C: "as the
+// number of gadgets increases, both the convergence time and communication
+// cost increase. … Nevertheless, all GOODGADGET scenarios converge").
+func TestSafeConvergesDeterministically(t *testing.T) {
+	_, res1 := runSPP(t, spp.GoodGadget(), testBase, 10*time.Second)
+	_, res2 := runSPP(t, spp.GoodGadget(), testBase, 10*time.Second)
+	if res1.Time != res2.Time || res1.Events != res2.Events {
+		t.Errorf("simulation should be deterministic: %v/%d vs %v/%d",
+			res1.Time, res1.Events, res2.Time, res2.Events)
+	}
+}
+
+// TestDeploymentGPV runs the GOODGADGET over real TCP sockets (deployment
+// mode) and checks it reaches the same selections as simulation mode.
+func TestDeploymentGPV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets")
+	}
+	conv, err := spp.GoodGadget().ToAlgebra()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := simnet.NewDeployment(nil)
+	nodes, err := BuildSPPDeployment(dep, conv, Config{
+		BatchInterval: 20 * time.Millisecond,
+		StartStagger:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dep.Run(10*time.Second, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("deployment run should quiesce")
+	}
+	best, ok := nodes["1"].Best(SPPDest)
+	if !ok || !pathEqual(best.Path, []simnet.NodeID{"1", "3", "r3"}) {
+		t.Errorf("node 1 selected %v over TCP, want [1 3 r3]", best.Path)
+	}
+}

@@ -1,0 +1,103 @@
+package pathvector
+
+import (
+	"fmt"
+
+	"fsr/internal/algebra"
+	"fsr/internal/simnet"
+	"fsr/internal/spp"
+)
+
+// SPPDest is the implicit destination used when executing an SPP instance:
+// all externally learned routes (r1, r2, …) reach the same destination
+// outside the modeled network.
+const SPPDest simnet.NodeID = "_dest"
+
+// BuildSPPDeployment wires a GPV deployment (real TCP sockets) for an SPP
+// instance — the same per-node configuration BuildSPP derives, attached to
+// the deployment runtime instead of the simulator.
+func BuildSPPDeployment(dep *simnet.Deployment, conv *spp.Conversion, base Config) (map[simnet.NodeID]*Node, error) {
+	nodes, wires, err := sppNodes(conv, base)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range conv.Instance.Nodes {
+		id := simnet.NodeID(n)
+		if err := dep.AddNode(id, nodes[id]); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range wires {
+		if err := dep.Connect(w[0], w[1]); err != nil {
+			return nil, err
+		}
+	}
+	return nodes, nil
+}
+
+// sppNodes builds the per-node protocol instances and the undirected wire
+// list shared by the simulation and deployment builders.
+func sppNodes(conv *spp.Conversion, base Config) (map[simnet.NodeID]*Node, [][2]simnet.NodeID, error) {
+	in := conv.Instance
+	label := func(from, to simnet.NodeID) algebra.Label {
+		l := conv.LabelOf[spp.Link{From: spp.Node(from), To: spp.Node(to)}]
+		if l == nil {
+			panic(fmt.Sprintf("pathvector: no label for link %s→%s", from, to))
+		}
+		return l
+	}
+	codec := NewSigCodec(conv.Algebra)
+	origs := map[spp.Node][]Route{}
+	for _, o := range conv.Originations() {
+		path := make([]simnet.NodeID, len(o.Path))
+		for i, n := range o.Path {
+			path[i] = simnet.NodeID(n)
+		}
+		origs[o.Node] = append(origs[o.Node], Route{Dest: SPPDest, Path: path, Sig: o.Sig})
+	}
+	nodes := map[simnet.NodeID]*Node{}
+	for _, n := range in.Nodes {
+		cfg := base
+		cfg.Algebra = conv.Algebra
+		cfg.Label = label
+		cfg.Originations = origs[n]
+		cfg.SelfOriginate = false
+		cfg.SigFromKey = codec.FromKey
+		nodes[simnet.NodeID(n)] = NewNode(cfg)
+	}
+	var wires [][2]simnet.NodeID
+	seen := map[spp.Link]bool{}
+	for _, l := range in.Links {
+		if seen[l] || seen[spp.Link{From: l.To, To: l.From}] {
+			continue
+		}
+		seen[l] = true
+		wires = append(wires, [2]simnet.NodeID{simnet.NodeID(l.From), simnet.NodeID(l.To)})
+	}
+	return nodes, wires, nil
+}
+
+// BuildSPP wires a GPV network for an SPP instance onto an existing
+// simulated network: one node per real instance node, one link per session,
+// originations from the instance's egress paths, and the converted algebra
+// as policy. base supplies the runtime knobs (batching, stagger, hooks);
+// policy fields are filled in per node. It returns the protocol nodes for
+// post-run inspection.
+func BuildSPP(net *simnet.Network, conv *spp.Conversion, link simnet.LinkConfig, base Config) (map[simnet.NodeID]*Node, error) {
+	nodes, wires, err := sppNodes(conv, base)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range conv.Instance.Nodes {
+		id := simnet.NodeID(n)
+		if err := net.AddNode(id, nodes[id]); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range wires {
+		if err := net.Connect(w[0], w[1], link); err != nil {
+			return nil, err
+		}
+	}
+	return nodes, nil
+}

@@ -1,0 +1,276 @@
+// Package simnet is the execution platform substituting for the paper's
+// RapidNet/ns-3 stack: a deterministic discrete-event network simulator
+// (simulation mode) and a real-socket loopback runtime (deployment mode,
+// tcp.go), both driving the same protocol code through the Env/Handler
+// interfaces. Links model latency, jitter, bandwidth serialization and FIFO
+// queueing; all traffic is accounted into a trace.Collector so experiments
+// can plot the paper's bandwidth and convergence figures.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fsr/internal/trace"
+)
+
+// NodeID names a node (a router or an AS).
+type NodeID string
+
+// Env is the interface protocol code uses to interact with its platform.
+// Both the discrete-event simulator and the TCP deployment runtime
+// implement it, mirroring RapidNet's simulation/deployment duality (§VI).
+// Env methods must only be called from within Handler callbacks (protocol
+// code is single-threaded per node on both platforms).
+type Env interface {
+	// Self returns the node this environment belongs to.
+	Self() NodeID
+	// Now returns the current time: virtual in simulation mode, wall-clock
+	// elapsed in deployment mode.
+	Now() time.Duration
+	// Neighbors returns the node's neighbors in a stable order.
+	Neighbors() []NodeID
+	// Send transmits a payload of the given wire size to a neighbor.
+	// Sending to a non-neighbor is a programming error and panics.
+	Send(to NodeID, payload any, size int)
+	// Schedule runs fn on this node after d (a protocol timer, e.g. the
+	// 1-second route batching of §VI-A).
+	Schedule(d time.Duration, fn func())
+	// Rand returns the node's deterministic random source (seeded per node
+	// in simulation mode).
+	Rand() *rand.Rand
+}
+
+// Handler is the protocol logic attached to a node.
+type Handler interface {
+	// Start is invoked once before any message is delivered.
+	Start(env Env)
+	// Receive is invoked for each delivered payload.
+	Receive(env Env, from NodeID, payload any)
+}
+
+// LinkConfig models one direction of a link, with the parameters the
+// paper's experiments set (100 Mbps bandwidth, 10 ms latency, up to 3 ms
+// jitter).
+type LinkConfig struct {
+	Latency   time.Duration
+	Jitter    time.Duration // uniform in [0, Jitter)
+	Bandwidth int64         // bits per second; 0 means infinite
+}
+
+// DefaultLink reproduces the paper's standard link: 100 Mbps, 10 ms, no
+// jitter.
+func DefaultLink() LinkConfig {
+	return LinkConfig{Latency: 10 * time.Millisecond, Bandwidth: 100e6}
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq int64 // tie-break for determinism
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() *event  { return h[0] }
+
+// link is one directed link with its serialization queue state.
+type link struct {
+	cfg       LinkConfig
+	busyUntil time.Duration // FIFO serialization: next transmission start
+}
+
+// node is a simulated node.
+type node struct {
+	id        NodeID
+	handler   Handler
+	neighbors []NodeID
+	rng       *rand.Rand
+	env       *simEnv
+}
+
+// Network is the discrete-event simulator. All scheduling is deterministic
+// given the seed; runs are reproducible byte-for-byte.
+type Network struct {
+	nodes     map[NodeID]*node
+	order     []NodeID
+	links     map[[2]NodeID]*link
+	queue     eventHeap
+	now       time.Duration
+	seq       int64
+	rng       *rand.Rand
+	collector *trace.Collector
+	delivered int64
+}
+
+// New creates an empty simulated network with the given seed and metric
+// collector (nil for an unmonitored run).
+func New(seed int64, c *trace.Collector) *Network {
+	if c == nil {
+		c = trace.NewCollector(10 * time.Millisecond)
+	}
+	return &Network{
+		nodes:     map[NodeID]*node{},
+		links:     map[[2]NodeID]*link{},
+		rng:       rand.New(rand.NewSource(seed)),
+		collector: c,
+	}
+}
+
+// Collector returns the attached metric collector.
+func (n *Network) Collector() *trace.Collector { return n.collector }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// AddNode attaches a handler as a new node. Node IDs must be unique.
+func (n *Network) AddNode(id NodeID, h Handler) error {
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("simnet: duplicate node %s", id)
+	}
+	nd := &node{id: id, handler: h, rng: rand.New(rand.NewSource(n.rng.Int63()))}
+	nd.env = &simEnv{net: n, node: nd}
+	n.nodes[id] = nd
+	n.order = append(n.order, id)
+	return nil
+}
+
+// Connect creates a bidirectional link between two existing nodes with the
+// same configuration in both directions.
+func (n *Network) Connect(a, b NodeID, cfg LinkConfig) error {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		return fmt.Errorf("simnet: connect %s–%s: unknown node", a, b)
+	}
+	if _, dup := n.links[[2]NodeID{a, b}]; dup {
+		return fmt.Errorf("simnet: duplicate link %s–%s", a, b)
+	}
+	n.links[[2]NodeID{a, b}] = &link{cfg: cfg}
+	n.links[[2]NodeID{b, a}] = &link{cfg: cfg}
+	na.neighbors = append(na.neighbors, b)
+	nb.neighbors = append(nb.neighbors, a)
+	return nil
+}
+
+// schedule enqueues fn at time at.
+func (n *Network) schedule(at time.Duration, fn func()) {
+	n.seq++
+	heap.Push(&n.queue, &event{at: at, seq: n.seq, fn: fn})
+}
+
+// RunResult summarizes a simulation run.
+type RunResult struct {
+	// Converged reports whether the event queue drained before the horizon
+	// (protocol quiescence: no pending messages or timers).
+	Converged bool
+	// Time is the instant of the last processed event when converged, or
+	// the horizon otherwise.
+	Time time.Duration
+	// Events is the number of processed events.
+	Events int64
+	// Delivered is the number of delivered protocol messages.
+	Delivered int64
+}
+
+// Run starts every handler and processes events until quiescence or until
+// the horizon. An oscillating protocol (BADGADGET) never quiesces and runs
+// to the horizon; a convergent one drains the queue, and the drain time is
+// its convergence time.
+func (n *Network) Run(horizon time.Duration) RunResult {
+	for _, id := range n.order {
+		nd := n.nodes[id]
+		n.schedule(0, func() { nd.handler.Start(nd.env) })
+	}
+	return n.resume(horizon)
+}
+
+// resume continues processing (used by Run and by tests that inject events).
+func (n *Network) resume(horizon time.Duration) RunResult {
+	var processed int64
+	var lastEvent time.Duration
+	for n.queue.Len() > 0 {
+		if n.queue.Peek().at > horizon {
+			n.now = horizon
+			return RunResult{Converged: false, Time: horizon, Events: processed, Delivered: n.delivered}
+		}
+		e := heap.Pop(&n.queue).(*event)
+		if e.at > n.now {
+			n.now = e.at
+		}
+		lastEvent = n.now
+		e.fn()
+		processed++
+	}
+	n.collector.MarkConverged(lastEvent)
+	return RunResult{Converged: true, Time: lastEvent, Events: processed, Delivered: n.delivered}
+}
+
+// deliver models the link: FIFO serialization at the sender, then
+// propagation latency plus jitter.
+func (n *Network) deliver(from, to NodeID, payload any, size int) {
+	l := n.links[[2]NodeID{from, to}]
+	if l == nil {
+		panic(fmt.Sprintf("simnet: %s sent to non-neighbor %s", from, to))
+	}
+	n.collector.RecordSend(string(from), size, n.now)
+	txStart := n.now
+	if l.busyUntil > txStart {
+		txStart = l.busyUntil
+	}
+	var ser time.Duration
+	if l.cfg.Bandwidth > 0 {
+		ser = time.Duration(float64(size*8) / float64(l.cfg.Bandwidth) * float64(time.Second))
+	}
+	txEnd := txStart + ser
+	l.busyUntil = txEnd
+	prop := l.cfg.Latency
+	if l.cfg.Jitter > 0 {
+		prop += time.Duration(n.rng.Int63n(int64(l.cfg.Jitter)))
+	}
+	dst := n.nodes[to]
+	n.schedule(txEnd+prop, func() {
+		n.collector.RecordRecv(string(to), size)
+		n.delivered++
+		dst.handler.Receive(dst.env, from, payload)
+	})
+}
+
+// simEnv implements Env for a simulated node.
+type simEnv struct {
+	net  *Network
+	node *node
+}
+
+func (e *simEnv) Self() NodeID       { return e.node.id }
+func (e *simEnv) Now() time.Duration { return e.net.now }
+func (e *simEnv) Rand() *rand.Rand   { return e.node.rng }
+
+func (e *simEnv) Neighbors() []NodeID {
+	out := make([]NodeID, len(e.node.neighbors))
+	copy(out, e.node.neighbors)
+	return out
+}
+
+func (e *simEnv) Send(to NodeID, payload any, size int) {
+	e.net.deliver(e.node.id, to, payload, size)
+}
+
+func (e *simEnv) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.net.schedule(e.net.now+d, fn)
+}

@@ -1,0 +1,492 @@
+// Package smt implements a small SMT solver for the exact logic fragment the
+// FSR safety analysis emits, substituting for the Yices binary the paper
+// shells out to (§IV-B).
+//
+// The fragment: conjunctions of ordering atoms  a < b, a ≤ b, a = b  over
+// positive-integer variables and constants, where each side may carry an
+// additive constant (a+3 ≤ b), plus the single quantified pattern the
+// closed-form algebras need (∀s. s < s+d). This is integer difference logic:
+//
+//   - every ground atom normalizes to a difference constraint x − y ≤ c;
+//   - the conjunction is satisfiable iff the constraint graph has no
+//     negative-weight cycle (decided with Bellman–Ford);
+//   - a model is read off the shortest-path distances;
+//   - a *minimal* unsatisfiable core is a simple negative cycle: removing
+//     any single edge of a simple cycle leaves an acyclic (hence
+//     satisfiable) subset, which matches the unsat-core contract Yices
+//     provides for these inputs.
+//
+// Package yices-compatible surface syntax (emit and parse) lives in
+// yices.go, so the paper's §IV-C listings round-trip through this solver.
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Var names an integer variable. Variables range over positive integers
+// (n > 0), mirroring the paper's  (define-type Sig (subtype (n::nat) (> n 0))).
+type Var string
+
+// Term is a linear term: Var + K, or the bare constant K when Var is empty.
+type Term struct {
+	Var Var
+	K   int
+}
+
+// V returns the term consisting of the single variable name.
+func V(name string) Term { return Term{Var: Var(name)} }
+
+// C returns the constant term k.
+func C(k int) Term { return Term{K: k} }
+
+// Plus returns t + k.
+func (t Term) Plus(k int) Term { return Term{Var: t.Var, K: t.K + k} }
+
+// IsConst reports whether the term has no variable.
+func (t Term) IsConst() bool { return t.Var == "" }
+
+// String renders the term in the paper's infix style.
+func (t Term) String() string {
+	switch {
+	case t.Var == "":
+		return fmt.Sprintf("%d", t.K)
+	case t.K == 0:
+		return string(t.Var)
+	case t.K > 0:
+		return fmt.Sprintf("%s+%d", t.Var, t.K)
+	default:
+		return fmt.Sprintf("%s-%d", t.Var, -t.K)
+	}
+}
+
+// Rel is an ordering relation between two terms.
+type Rel int
+
+// The relations of the fragment. Gt/Ge exist for parser convenience and are
+// normalized to Lt/Le by swapping sides at assertion time.
+const (
+	Lt Rel = iota // <
+	Le            // <=
+	Eq            // =
+	Gt            // >
+	Ge            // >=
+)
+
+// String returns the Yices spelling of the relation.
+func (r Rel) String() string {
+	switch r {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Eq:
+		return "="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// Assertion is one asserted atom, optionally universally quantified.
+type Assertion struct {
+	Rel  Rel
+	A, B Term
+
+	// QuantVar, when non-empty, universally quantifies the named variable:
+	// ∀ QuantVar. A Rel B. Only patterns where both sides mention QuantVar
+	// (the monotonicity shape  s Rel s+d) are decidable; Check reports an
+	// error for other quantified shapes.
+	QuantVar Var
+
+	// Origin is free-form provenance recorded by the caller (e.g. the
+	// algebra constraint "strict-mono: p ⊕ C = P"); it is surfaced in unsat
+	// cores so users can pinpoint the offending policy statement (§IV-B).
+	Origin string
+}
+
+// String renders the assertion in infix style with its provenance.
+func (a Assertion) String() string {
+	body := fmt.Sprintf("%s %s %s", a.A, a.Rel, a.B)
+	if a.QuantVar != "" {
+		body = fmt.Sprintf("∀%s. %s", a.QuantVar, body)
+	}
+	if a.Origin != "" {
+		return body + "  [" + a.Origin + "]"
+	}
+	return body
+}
+
+// normalized returns the assertion with Gt/Ge rewritten to Lt/Le.
+func (a Assertion) normalized() Assertion {
+	switch a.Rel {
+	case Gt:
+		a.A, a.B, a.Rel = a.B, a.A, Lt
+	case Ge:
+		a.A, a.B, a.Rel = a.B, a.A, Le
+	}
+	return a
+}
+
+// Stats reports solver effort, mirroring the paper's "solver returns within
+// 100 ms" style measurements.
+type Stats struct {
+	Assertions int
+	Variables  int
+	Edges      int
+	Duration   time.Duration
+}
+
+// Result is the outcome of Check.
+type Result struct {
+	// Sat reports satisfiability of the asserted conjunction.
+	Sat bool
+	// Model assigns positive integers to every variable when Sat. The
+	// assignment satisfies every asserted atom.
+	Model map[Var]int
+	// Core, when !Sat, is a minimal unsatisfiable subset of the asserted
+	// atoms: every proper subset of Core is satisfiable.
+	Core []Assertion
+	// UsesPositivity reports whether the implicit n > 0 typing of variables
+	// participates in the contradiction (the paper's Sig subtype).
+	UsesPositivity bool
+	// Stats reports effort.
+	Stats Stats
+}
+
+// Solver accumulates assertions; Check decides them. The zero value is ready
+// to use. Solvers are not safe for concurrent mutation.
+type Solver struct {
+	asserts []Assertion
+
+	// NoMinimize disables deletion-based core minimization: unsat results
+	// then carry the (already minimal, but arbitrarily chosen) negative
+	// cycle found by Bellman–Ford instead of the deletion-minimized core
+	// biased toward earliest-asserted constraints. Exposed for the
+	// unsat-core ablation benchmark.
+	NoMinimize bool
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver { return &Solver{} }
+
+// Assert adds an assertion to the logical context.
+func (s *Solver) Assert(a Assertion) { s.asserts = append(s.asserts, a.normalized()) }
+
+// AssertAll adds all assertions in order.
+func (s *Solver) AssertAll(as []Assertion) {
+	for _, a := range as {
+		s.Assert(a)
+	}
+}
+
+// Assertions returns the asserted atoms in assertion order.
+func (s *Solver) Assertions() []Assertion {
+	out := make([]Assertion, len(s.asserts))
+	copy(out, s.asserts)
+	return out
+}
+
+// Len returns the number of asserted atoms.
+func (s *Solver) Len() int { return len(s.asserts) }
+
+// edge is one difference constraint to(x) − from(y) ≤ w, i.e. an edge
+// from → to of weight w in the constraint graph; assertIdx < 0 marks the
+// implicit positivity constraints.
+type edge struct {
+	from, to  int
+	w         int
+	assertIdx int
+}
+
+const zeroNode = 0 // graph node representing the constant 0
+
+// graph is the difference-constraint graph of a set of ground assertions.
+type graph struct {
+	edges []edge
+	varID map[Var]int
+	idVar []Var
+}
+
+// buildGraph translates ground assertions (identified by their indices into
+// s.asserts) into a difference graph; active filters which assertions
+// participate (nil means all).
+func buildGraph(all []Assertion, idxs []int, active []bool) graph {
+	return buildGraphOpt(all, idxs, active, true)
+}
+
+func buildGraphOpt(all []Assertion, idxs []int, active []bool, positivity bool) graph {
+	g := graph{varID: map[Var]int{}, idVar: []Var{""}} // node 0 = the constant 0
+	id := func(v Var) int {
+		if v == "" {
+			return zeroNode
+		}
+		if n, ok := g.varID[v]; ok {
+			return n
+		}
+		n := len(g.idVar)
+		g.varID[v] = n
+		g.idVar = append(g.idVar, v)
+		return n
+	}
+	for _, ai := range idxs {
+		if active != nil && !active[ai] {
+			continue
+		}
+		a := all[ai]
+		va, vb := id(a.A.Var), id(a.B.Var)
+		// A ≤ B:  val(va)+ka ≤ val(vb)+kb  ⇒  va − vb ≤ kb − ka.
+		w := a.B.K - a.A.K
+		switch a.Rel {
+		case Le:
+			g.edges = append(g.edges, edge{from: vb, to: va, w: w, assertIdx: ai})
+		case Lt:
+			g.edges = append(g.edges, edge{from: vb, to: va, w: w - 1, assertIdx: ai})
+		case Eq:
+			g.edges = append(g.edges, edge{from: vb, to: va, w: w, assertIdx: ai})
+			g.edges = append(g.edges, edge{from: va, to: vb, w: -w, assertIdx: ai})
+		}
+	}
+	// Positivity: x ≥ 1  ⇔  0 − x ≤ −1  ⇒  edge x → zero of weight −1.
+	if positivity {
+		for _, v := range g.idVar[1:] {
+			g.edges = append(g.edges, edge{from: g.varID[v], to: zeroNode, w: -1, assertIdx: -1})
+		}
+	}
+	return g
+}
+
+// bellmanFord relaxes the graph with an implicit virtual source (dist ≡ 0).
+// It returns the final distances, the predecessor edge per node, and a node
+// relaxed in the n-th pass (−1 when the graph converged, i.e. is
+// satisfiable).
+func (g graph) bellmanFord() (dist []int, pred []int, relaxedNode int) {
+	n := len(g.idVar)
+	dist = make([]int, n)
+	pred = make([]int, n)
+	for i := range pred {
+		pred[i] = -1
+	}
+	relaxedNode = -1
+	for pass := 0; pass < n; pass++ {
+		relaxedNode = -1
+		for ei, e := range g.edges {
+			if d := dist[e.from] + e.w; d < dist[e.to] {
+				dist[e.to] = d
+				pred[e.to] = ei
+				if relaxedNode < 0 {
+					relaxedNode = e.to
+				}
+			}
+		}
+		if relaxedNode < 0 {
+			return dist, pred, -1
+		}
+	}
+	return dist, pred, relaxedNode
+}
+
+// sat reports whether the subset of ground assertions selected by active is
+// satisfiable.
+func groundSat(all []Assertion, idxs []int, active []bool) bool {
+	_, _, relaxed := buildGraph(all, idxs, active).bellmanFord()
+	return relaxed < 0
+}
+
+// Check decides the conjunction of all asserted atoms. It returns an error
+// only for quantified assertions outside the supported pattern; unsat inputs
+// produce Sat=false with a minimal core, not an error.
+func (s *Solver) Check() (Result, error) {
+	start := time.Now()
+	res := Result{}
+
+	// Phase 1: decide quantified assertions analytically.
+	groundIdx := []int{}
+	for i, a := range s.asserts {
+		if a.QuantVar == "" {
+			groundIdx = append(groundIdx, i)
+			continue
+		}
+		ok, err := quantifiedValid(a)
+		if err != nil {
+			return Result{}, err
+		}
+		if !ok {
+			// A single invalid universal is itself a minimal core.
+			res.Sat = false
+			res.Core = []Assertion{a}
+			res.Stats = Stats{Assertions: len(s.asserts), Duration: time.Since(start)}
+			return res, nil
+		}
+	}
+
+	// Phase 2+3: difference graph and Bellman–Ford.
+	g := buildGraph(s.asserts, groundIdx, nil)
+	n := len(g.idVar)
+	res.Stats = Stats{Assertions: len(s.asserts), Variables: n - 1, Edges: len(g.edges)}
+	dist, pred, relaxedNode := g.bellmanFord()
+
+	if relaxedNode >= 0 {
+		var coreIdx []int
+		if s.NoMinimize {
+			coreIdx, res.UsesPositivity = extractCycleCore(g, pred, relaxedNode, groundIdx)
+		} else {
+			coreIdx, res.UsesPositivity = s.minimizeCore(groundIdx)
+		}
+		core := make([]Assertion, len(coreIdx))
+		for i, ai := range coreIdx {
+			core[i] = s.asserts[ai]
+		}
+		res.Sat = false
+		res.Core = core
+		res.Stats.Duration = time.Since(start)
+		return res, nil
+	}
+
+	// Phase 4: extract a model. val(x) = dist(x) − dist(zero) satisfies
+	// every difference constraint (distances do) and positivity (the
+	// positivity edges are part of the graph).
+	model := make(map[Var]int, n-1)
+	for v, i := range g.varID {
+		model[v] = dist[i] - dist[zeroNode]
+	}
+	res.Sat = true
+	res.Model = model
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// minimizeCore performs deletion-based minimization over the ground
+// assertions: walking candidates from last to first, each assertion whose
+// removal keeps the remainder unsatisfiable is dropped. The result is a
+// minimal unsatisfiable subset (every proper subset is satisfiable) biased
+// toward the earliest-asserted constraints, matching the way the paper's
+// narratives name the first violation (c ⊕ C = C for Gao-Rexford).
+func (s *Solver) minimizeCore(groundIdx []int) (core []int, usesPositivity bool) {
+	active := make([]bool, len(s.asserts))
+	for _, i := range groundIdx {
+		active[i] = true
+	}
+	for k := len(groundIdx) - 1; k >= 0; k-- {
+		i := groundIdx[k]
+		active[i] = false
+		if groundSat(s.asserts, groundIdx, active) {
+			active[i] = true // needed for unsatisfiability
+		}
+	}
+	for _, i := range groundIdx {
+		if active[i] {
+			core = append(core, i)
+		}
+	}
+	// The core involves positivity iff it becomes satisfiable over all of ℤ
+	// once the implicit n > 0 typing is dropped.
+	_, _, relaxed := buildGraphOpt(s.asserts, groundIdx, active, false).bellmanFord()
+	usesPositivity = relaxed < 0
+	return core, usesPositivity
+}
+
+// extractCycleCore collects the assertions on the negative cycle reachable
+// through the predecessor pointers — the fast, non-minimized core used when
+// NoMinimize is set. The returned cycle is simple, hence itself a minimal
+// unsatisfiable subset, but which of several cores is found is arbitrary.
+func extractCycleCore(g graph, pred []int, relaxedNode int, groundIdx []int) (core []int, usesPositivity bool) {
+	node := relaxedNode
+	for i := 0; i < len(g.idVar) && pred[node] >= 0; i++ {
+		node = g.edges[pred[node]].from
+	}
+	startNode := node
+	coreIdx := map[int]bool{}
+	for steps := 0; ; steps++ {
+		if pred[node] < 0 || steps > len(g.edges) {
+			// Defensive fallback; a pass-n relaxation guarantees the
+			// predecessor walk closes a cycle, so this path is unreachable
+			// in practice. Report the full ground set rather than a wrong
+			// core.
+			coreIdx = map[int]bool{}
+			for _, gi := range groundIdx {
+				coreIdx[gi] = true
+			}
+			break
+		}
+		e := g.edges[pred[node]]
+		if e.assertIdx >= 0 {
+			coreIdx[e.assertIdx] = true
+		} else {
+			usesPositivity = true
+		}
+		node = e.from
+		if node == startNode {
+			break
+		}
+	}
+	for i := range coreIdx {
+		core = append(core, i)
+	}
+	sort.Ints(core)
+	return core, usesPositivity
+}
+
+// quantifiedValid decides ∀v. A Rel B for the supported pattern where both
+// sides mention v: (v+ka) Rel (v+kb) holds for all v iff ka Rel kb.
+func quantifiedValid(a Assertion) (bool, error) {
+	if a.A.Var != a.QuantVar || a.B.Var != a.QuantVar {
+		return false, fmt.Errorf("smt: unsupported quantified pattern %s: both sides must mention the bound variable", a)
+	}
+	switch a.Rel {
+	case Lt:
+		return a.A.K < a.B.K, nil
+	case Le:
+		return a.A.K <= a.B.K, nil
+	case Eq:
+		return a.A.K == a.B.K, nil
+	}
+	return false, fmt.Errorf("smt: unsupported quantified relation in %s", a)
+}
+
+// Verify checks that model satisfies every ground assertion in the solver;
+// it returns the first violated assertion, or nil. Quantified assertions are
+// re-decided analytically. Used by tests and by callers that want a
+// defense-in-depth check of solver output.
+func (s *Solver) Verify(model map[Var]int) *Assertion {
+	eval := func(t Term) int {
+		if t.IsConst() {
+			return t.K
+		}
+		return model[t.Var] + t.K
+	}
+	for i := range s.asserts {
+		a := s.asserts[i]
+		if a.QuantVar != "" {
+			if ok, err := quantifiedValid(a); err != nil || !ok {
+				return &s.asserts[i]
+			}
+			continue
+		}
+		x, y := eval(a.A), eval(a.B)
+		ok := false
+		switch a.Rel {
+		case Lt:
+			ok = x < y
+		case Le:
+			ok = x <= y
+		case Eq:
+			ok = x == y
+		}
+		if !ok {
+			return &s.asserts[i]
+		}
+	}
+	for v, val := range model {
+		if val <= 0 {
+			// positivity violated
+			bad := Assertion{Rel: Lt, A: C(0), B: V(string(v)), Origin: "positivity"}
+			return &bad
+		}
+	}
+	return nil
+}

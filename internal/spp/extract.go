@@ -1,0 +1,77 @@
+package spp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements SPP extraction from protocol executions (§VI-B): in
+// the absence of real router configurations, FSR populates the permitted
+// paths of each router from the route advertisements observed during a GPV
+// run, then ranks them (for iBGP, by IGP cost to the egress) to obtain the
+// per-node rankings the analysis needs.
+
+// Observation is one observed route at a node: the advertisement's path as
+// received during a protocol execution.
+type Observation struct {
+	Node Node
+	Path Path
+}
+
+// Ranker orders a node's observed paths; lower rank is more preferred.
+// Ties are broken deterministically by path rendering.
+type Ranker func(n Node, p Path) int
+
+// IGPCostRanker ranks paths by total IGP cost over the instance's annotated
+// link costs — the §VI-B route preference (lowest IGP cost to the egress
+// wins). Paths crossing unannotated links count those links as cost zero.
+func IGPCostRanker(cost map[Link]int) Ranker {
+	return func(_ Node, p Path) int {
+		total := 0
+		for i := 0; i+2 < len(p); i++ { // last hop is the origin token
+			total += cost[Link{p[i], p[i+1]}]
+		}
+		return total
+	}
+}
+
+// Extract builds an SPP instance from observed advertisements: each node's
+// permitted set is exactly its observed paths, ranked by rank. links and
+// costs describe the topology the run executed on.
+func Extract(name string, links []Link, costs map[Link]int, obs []Observation, rank Ranker) (*Instance, error) {
+	in := NewInstance(name)
+	for _, l := range links {
+		in.AddNode(l.From)
+		in.AddNode(l.To)
+		in.Links = append(in.Links, l)
+		if c, ok := costs[l]; ok {
+			in.Cost[l] = c
+		}
+	}
+	byNode := map[Node][]Path{}
+	seen := map[Node]map[string]bool{}
+	for _, o := range obs {
+		if o.Path.Owner() != o.Node {
+			return nil, fmt.Errorf("spp extract %s: node %s observed path %s owned by %s", name, o.Node, o.Path, o.Path.Owner())
+		}
+		if seen[o.Node] == nil {
+			seen[o.Node] = map[string]bool{}
+		}
+		if seen[o.Node][o.Path.Key()] {
+			continue
+		}
+		seen[o.Node][o.Path.Key()] = true
+		byNode[o.Node] = append(byNode[o.Node], o.Path)
+	}
+	for n, paths := range byNode {
+		sort.SliceStable(paths, func(i, j int) bool {
+			ri, rj := rank(n, paths[i]), rank(n, paths[j])
+			if ri != rj {
+				return ri < rj
+			}
+			return paths[i].String() < paths[j].String()
+		})
+		in.Rank(n, paths...)
+	}
+	return in, nil
+}

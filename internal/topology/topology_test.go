@@ -1,0 +1,146 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestHierarchyDepth: the generated hierarchy realizes the requested
+// longest customer-provider chain and annotates every edge.
+func TestHierarchyDepth(t *testing.T) {
+	for _, depth := range []int{3, 8, 16} {
+		g := GenerateHierarchy(1, HierarchyParams{Depth: depth})
+		if g.Depth != depth {
+			t.Errorf("depth %d: got %d", depth, g.Depth)
+		}
+		maxLevel := 0
+		for _, lvl := range g.Level {
+			if lvl > maxLevel {
+				maxLevel = lvl
+			}
+		}
+		if maxLevel != depth {
+			t.Errorf("depth %d: deepest level %d", depth, maxLevel)
+		}
+		// The chain as0_0 → as1_0 → … guarantees the exact depth.
+		for lvl := 1; lvl <= depth; lvl++ {
+			found := false
+			for _, e := range g.Edges {
+				if e.Rel == CustomerProvider && g.Level[e.A] == lvl-1 && g.Level[e.B] == lvl {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("depth %d: no provider edge into level %d", depth, lvl)
+			}
+		}
+	}
+}
+
+// TestHierarchyClasses: Class is antisymmetric for provider edges and
+// symmetric for peers.
+func TestHierarchyClasses(t *testing.T) {
+	g := GenerateHierarchy(2, HierarchyParams{Depth: 5})
+	for _, e := range g.Edges {
+		switch e.Rel {
+		case CustomerProvider:
+			if g.Class(e.A, e.B) != "c" || g.Class(e.B, e.A) != "p" {
+				t.Errorf("provider edge %s→%s classes %s/%s", e.A, e.B, g.Class(e.A, e.B), g.Class(e.B, e.A))
+			}
+		case PeerPeer:
+			if g.Class(e.A, e.B) != "r" || g.Class(e.B, e.A) != "r" {
+				t.Errorf("peer edge %s–%s classes %s/%s", e.A, e.B, g.Class(e.A, e.B), g.Class(e.B, e.A))
+			}
+		}
+	}
+	if g.Class("as0_0", "nonexistent") != "" {
+		t.Errorf("non-adjacent pairs have no class")
+	}
+}
+
+// TestHierarchyDeterminism (property): same seed, same graph.
+func TestHierarchyDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		a := GenerateHierarchy(seed, HierarchyParams{Depth: 6})
+		b := GenerateHierarchy(seed, HierarchyParams{Depth: 6})
+		if len(a.Nodes) != len(b.Nodes) || len(a.Edges) != len(b.Edges) {
+			return false
+		}
+		for i := range a.Edges {
+			if a.Edges[i] != b.Edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestISPShape: the generated ISP matches the §VI-B shape: 87 routers, 322
+// links, 53 reflectors across at most 6 levels, connected.
+func TestISPShape(t *testing.T) {
+	g := GenerateISP(1, ISPParams{})
+	if len(g.Routers) != 87 {
+		t.Errorf("routers = %d, want 87", len(g.Routers))
+	}
+	if len(g.Links) != 322 {
+		t.Errorf("links = %d, want 322", len(g.Links))
+	}
+	if len(g.ReflectorLevel) != 53 {
+		t.Errorf("reflectors = %d, want 53", len(g.ReflectorLevel))
+	}
+	for r, lvl := range g.ReflectorLevel {
+		if lvl < 1 || lvl > 6 {
+			t.Errorf("reflector %s at level %d", r, lvl)
+		}
+	}
+	// Connectivity via IGP costs: every pair reachable.
+	igp := g.AllPairsIGP()
+	for _, a := range g.Routers {
+		for _, b := range g.Routers {
+			if _, ok := igp[a][b]; !ok {
+				t.Fatalf("%s cannot reach %s", a, b)
+			}
+		}
+	}
+}
+
+// TestIGPTriangleInequality (property): shortest-path costs satisfy the
+// triangle inequality.
+func TestIGPTriangleInequality(t *testing.T) {
+	g := GenerateISP(3, ISPParams{Routers: 20, Links: 45, Reflectors: 8, Levels: 4})
+	igp := g.AllPairsIGP()
+	for _, a := range g.Routers {
+		for _, b := range g.Routers {
+			for _, c := range g.Routers {
+				if igp[a][c] > igp[a][b]+igp[b][c] {
+					t.Fatalf("triangle violated: d(%s,%s)=%d > %d+%d", a, c, igp[a][c], igp[a][b], igp[b][c])
+				}
+			}
+		}
+	}
+	for _, a := range g.Routers {
+		if igp[a][a] != 0 {
+			t.Errorf("d(%s,%s) = %d", a, a, igp[a][a])
+		}
+	}
+}
+
+// TestSessionGraphCoversReflectors: every reflector appears in the session
+// graph.
+func TestSessionGraphCoversReflectors(t *testing.T) {
+	g := GenerateISP(1, ISPParams{})
+	inSession := map[string]bool{}
+	for _, l := range g.SessionGraph() {
+		inSession[l.A] = true
+		inSession[l.B] = true
+	}
+	for r := range g.ReflectorLevel {
+		if !inSession[r] {
+			t.Errorf("reflector %s missing from session graph", r)
+		}
+	}
+}
