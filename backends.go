@@ -1,0 +1,59 @@
+package fsr
+
+import (
+	"fsr/internal/engine"
+	"fsr/internal/smt"
+)
+
+// Backend selection. A Session talks to two pluggable backends: a
+// SolverBackend decides the generated constraints, a RunnerBackend executes
+// the generated protocol. Callers select backends by value through
+// WithSolver and WithRunner; the constructors below are the only way to
+// obtain one from outside the module, so commands and examples never import
+// internal packages.
+
+// SolverBackend decides constraint systems. Implementations: NativeSolver
+// (in-process difference logic) and YicesTextSolver (round trip through the
+// paper's Yices surface syntax).
+type SolverBackend = smt.Solver
+
+// NativeSolver returns the built-in difference-logic backend: ground atoms
+// become a constraint graph decided by Bellman–Ford, with deletion-minimized
+// unsat cores. This is the default and the fastest path.
+func NativeSolver() SolverBackend { return smt.Native{} }
+
+// YicesTextSolver returns the external-encoding backend: constraints are
+// rendered in Yices 1.x syntax (the paper's §IV-C listings), parsed back,
+// and decided natively — exercising the exact text FSR would hand to a real
+// Yices binary.
+func YicesTextSolver() SolverBackend { return smt.YicesText{} }
+
+// SolverBackends returns every built-in solver backend.
+func SolverBackends() []SolverBackend { return smt.Backends() }
+
+// SolverBackendByName resolves "native" or "yices-text" (alias "yices").
+func SolverBackendByName(name string) (SolverBackend, error) { return smt.SolverByName(name) }
+
+// RunnerBackend executes a converted SPP instance. Implementations:
+// SimulationRunner, NDlogRunner, DeploymentRunner.
+type RunnerBackend = engine.Runner
+
+// SimulationRunner returns the default execution backend: the compiled GPV
+// protocol over the deterministic discrete-event simulator.
+func SimulationRunner() RunnerBackend { return engine.SimRunner{} }
+
+// NDlogRunner returns the interpreted execution backend: the generated
+// NDlog program evaluated by the engine package over the simulator — the
+// RapidNet-style path, slower but exercising the generated code itself.
+func NDlogRunner() RunnerBackend { return engine.SimRunner{Interpreted: true} }
+
+// DeploymentRunner returns the deployment backend: the compiled GPV
+// protocol over real TCP sockets on loopback, timed by the wall clock.
+func DeploymentRunner() RunnerBackend { return engine.DeployRunner{} }
+
+// RunnerBackends returns every built-in runner backend.
+func RunnerBackends() []RunnerBackend { return engine.Runners() }
+
+// RunnerBackendByName resolves "sim", "sim-ndlog" (alias "ndlog"), or "tcp"
+// (aliases "deploy", "deployment").
+func RunnerBackendByName(name string) (RunnerBackend, error) { return engine.RunnerByName(name) }

@@ -1,13 +1,22 @@
-// Benchmark harness: one testing.B per table and figure of the paper's
-// evaluation (§VI), plus ablation benches for the design choices called out
-// in DESIGN.md. Each figure bench runs the corresponding experiment at a
-// reduced-but-representative scale and reports the paper's headline metrics
-// through b.ReportMetric, so `go test -bench=. -benchmem` regenerates the
-// whole evaluation in one command. The CLI (`fsr experiment <id> -full`)
+// Benchmark harness in two parts.
+//
+// BenchmarkStage* covers the pipeline one stage at a time — constraint
+// generation, solving (per backend), NDlog compilation, SPP conversion,
+// protocol execution (per runner), and batch fan-out (per parallelism) —
+// with benchstat-friendly names (`key=value` sub-benchmarks), so perf
+// trajectories across PRs reduce to
+//
+//	go test -bench=Stage -count=10 | benchstat old.txt new.txt
+//
+// The Benchmark{Table,Figure,Ablation}* benches regenerate the paper's §VI
+// evaluation at reduced-but-representative scale, reporting headline
+// metrics through b.ReportMetric. The CLI (`fsr experiment <id> -full`)
 // runs the paper-scale variants.
 package fsr
 
 import (
+	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -22,6 +31,111 @@ import (
 
 	enginepkg "fsr/internal/engine"
 )
+
+// BenchmarkStageConstraints measures constraint generation alone (§IV-B
+// steps 1–3) on the Figure 3 instance.
+func BenchmarkStageConstraints(b *testing.B) {
+	conv, err := spp.Figure3IBGP().ToAlgebra()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Constraints(conv.Algebra, analysis.StrictMonotonicity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageSolve measures the pure decision procedure per solver
+// backend on the pre-generated Figure 3 constraint set.
+func BenchmarkStageSolve(b *testing.B) {
+	conv, err := spp.Figure3IBGP().ToAlgebra()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons, err := analysis.Constraints(conv.Algebra, analysis.StrictMonotonicity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	asserts := make([]smt.Assertion, len(cons))
+	for i, c := range cons {
+		asserts[i] = c.Assertion
+	}
+	ctx := context.Background()
+	for _, backend := range smt.Backends() {
+		b.Run("backend="+backend.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := backend.Solve(ctx, asserts)
+				if err != nil || out.Sat {
+					b.Fatalf("want unsat, got sat=%v err=%v", out.Sat, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStageCompile measures algebra → NDlog program generation.
+func BenchmarkStageCompile(b *testing.B) {
+	alg := algebra.GaoRexfordA()
+	for i := 0; i < b.N; i++ {
+		if _, err := ndlog.Generate(alg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageConvert measures SPP → algebra conversion with its
+// pinpointing maps (§III-B).
+func BenchmarkStageConvert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := spp.Figure3IBGP().ToAlgebra(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageExecute measures one protocol execution to convergence per
+// simulation runner backend (the TCP backend is wall-clock-bound and
+// excluded from the stage series).
+func BenchmarkStageExecute(b *testing.B) {
+	ctx := context.Background()
+	for _, runner := range []RunnerBackend{SimulationRunner(), NDlogRunner()} {
+		b.Run("runner="+runner.Name(), func(b *testing.B) {
+			sess := NewSession(
+				WithRunner(runner),
+				WithBatchWindow(10*time.Millisecond),
+				WithHorizon(20*time.Second),
+			)
+			for i := 0; i < b.N; i++ {
+				rep, err := sess.Run(ctx, Figure3IBGPFixed())
+				if err != nil || !rep.Converged {
+					b.Fatalf("run failed: converged=%v err=%v", rep != nil && rep.Converged, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStageAnalyzeAll measures the batch fan-out across worker-pool
+// sizes on a mixed 12-policy batch.
+func BenchmarkStageAnalyzeAll(b *testing.B) {
+	ctx := context.Background()
+	var batch []Algebra
+	for i := 0; i < 4; i++ {
+		batch = append(batch, GaoRexfordA(), GaoRexfordSafe(), Compose(GaoRexfordB(), HopCount()))
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			sess := NewSession(WithParallelism(par))
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.AnalyzeAll(ctx, batch...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkTableI regenerates Table I: the policy-configuration spectrum.
 func BenchmarkTableI(b *testing.B) {
@@ -172,7 +286,7 @@ func BenchmarkSectionVIBSolver(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := smt.NewSolver()
+		s := smt.NewContext()
 		for _, c := range cons {
 			s.Assert(c.Assertion)
 		}
@@ -256,7 +370,7 @@ func benchCoreAblation(b *testing.B, noMinimize bool) {
 	b.ResetTimer()
 	var core int
 	for i := 0; i < b.N; i++ {
-		s := smt.NewSolver()
+		s := smt.NewContext()
 		s.NoMinimize = noMinimize
 		for _, c := range cons {
 			s.Assert(c.Assertion)
@@ -277,7 +391,7 @@ func BenchmarkAblationUnsatCoreCycle(b *testing.B)     { benchCoreAblation(b, tr
 // (the paper uses 1 s in §VI-A) and reports convergence in phases.
 func BenchmarkAblationBatching(b *testing.B) {
 	for _, batch := range []time.Duration{10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond} {
-		b.Run(batch.String(), func(b *testing.B) {
+		b.Run("batch="+batch.String(), func(b *testing.B) {
 			var conv time.Duration
 			for i := 0; i < b.N; i++ {
 				res, err := experiments.Figure4(experiments.Figure4Options{
@@ -296,7 +410,7 @@ func BenchmarkAblationBatching(b *testing.B) {
 // BenchmarkAblationCostHiding sweeps the HLP cost-hiding threshold.
 func BenchmarkAblationCostHiding(b *testing.B) {
 	for _, hiding := range []int{1, 5, 20} {
-		b.Run(map[int]string{1: "h1", 5: "h5", 20: "h20"}[hiding], func(b *testing.B) {
+		b.Run(fmt.Sprintf("hiding=%d", hiding), func(b *testing.B) {
 			var bytes float64
 			for i := 0; i < b.N; i++ {
 				res, err := experiments.Figure6(experiments.Figure6Options{
@@ -317,7 +431,7 @@ func BenchmarkAblationCostHiding(b *testing.B) {
 // instances (pure solver throughput).
 func BenchmarkSolverScaling(b *testing.B) {
 	for _, n := range []int{10, 50, 200} {
-		b.Run(map[int]string{10: "n10", 50: "n50", 200: "n200"}[n], func(b *testing.B) {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			conv, err := spp.ChainGadget(n).ToAlgebra()
 			if err != nil {
 				b.Fatal(err)
@@ -328,7 +442,7 @@ func BenchmarkSolverScaling(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s := smt.NewSolver()
+				s := smt.NewContext()
 				for _, c := range cons {
 					s.Assert(c.Assertion)
 				}

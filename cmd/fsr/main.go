@@ -1,36 +1,32 @@
 // Command fsr is the FSR toolkit CLI: analyze policy configurations for
 // safety, compile them to NDlog implementations, run protocol executions,
-// and regenerate the paper's tables and figures.
+// and regenerate the paper's tables and figures. It is a thin client of the
+// public fsr package: every subcommand builds an fsr.Session from its flags
+// and drives the pipeline through it.
 //
 // Usage:
 //
-//	fsr analyze  [-config FILE | -builtin NAME]   safety analysis
-//	fsr compile  [-config FILE | -builtin NAME]   emit the NDlog program
-//	fsr yices    [-config FILE | -builtin NAME]   emit the solver encoding
-//	fsr run      [-gadget NAME] [-horizon D]      execute a gadget under GPV
+//	fsr analyze  [-config FILE | -builtin NAME] [-solver B]   safety analysis
+//	fsr compile  [-config FILE | -builtin NAME]               emit the NDlog program
+//	fsr yices    [-config FILE | -builtin NAME]               emit the solver encoding
+//	fsr run      [-gadget NAME] [-runner B] [-horizon D]      execute a gadget under GPV
 //	fsr experiment <table1|table2|fig3|fig4|fig5|fig6|vic> [flags]
-//	fsr topo     [-depth N] [-seed S]             print a generated AS hierarchy
+//	fsr topo     [-depth N] [-seed S]                         print a generated AS hierarchy
 //
 // Built-in policies: gao-rexford-a, gao-rexford-b, gao-rexford-safe,
 // hop-count, backup. Built-in gadgets: goodgadget, badgadget, disagree,
-// fig3, fig3-fixed.
+// fig3, fig3-fixed. Solver backends: native, yices-text. Runner backends:
+// sim, sim-ndlog, tcp.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"fsr"
-	"fsr/internal/algebra"
-	"fsr/internal/analysis"
-	"fsr/internal/experiments"
-	"fsr/internal/pathvector"
-	"fsr/internal/simnet"
-	"fsr/internal/spp"
-	"fsr/internal/topology"
-	"fsr/internal/trace"
 )
 
 func main() {
@@ -79,7 +75,7 @@ commands:
 }
 
 // loadPolicy resolves -builtin/-config/-spp flags to an algebra.
-func loadPolicy(builtin, configPath, sppName string) (fsr.Algebra, *spp.Conversion, error) {
+func loadPolicy(builtin, configPath, sppName string) (fsr.Algebra, *fsr.SPPConversion, error) {
 	if configPath != "" {
 		data, err := os.ReadFile(configPath)
 		if err != nil {
@@ -93,7 +89,7 @@ func loadPolicy(builtin, configPath, sppName string) (fsr.Algebra, *spp.Conversi
 			return file.Algebras[0], nil, nil
 		}
 		if len(file.Instances) > 0 {
-			conv, err := file.Instances[0].ToAlgebra()
+			conv, err := fsr.ConvertSPP(file.Instances[0])
 			if err != nil {
 				return nil, nil, err
 			}
@@ -102,47 +98,35 @@ func loadPolicy(builtin, configPath, sppName string) (fsr.Algebra, *spp.Conversi
 		return nil, nil, fmt.Errorf("config %s defines no algebra or spp instance", configPath)
 	}
 	if sppName != "" {
-		inst, err := gadgetByName(sppName)
+		inst, err := fsr.Gadget(sppName)
 		if err != nil {
 			return nil, nil, err
 		}
-		conv, err := inst.ToAlgebra()
+		conv, err := fsr.ConvertSPP(inst)
 		if err != nil {
 			return nil, nil, err
 		}
 		return conv.Algebra, conv, nil
 	}
-	switch builtin {
-	case "", "gao-rexford-a":
-		return fsr.GaoRexfordA(), nil, nil
-	case "gao-rexford-b":
-		return fsr.GaoRexfordB(), nil, nil
-	case "gao-rexford-safe":
-		return fsr.GaoRexfordSafe(), nil, nil
-	case "hop-count":
-		return fsr.HopCount(), nil, nil
-	case "backup":
-		return algebra.BackupRouting(2), nil, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown builtin policy %q", builtin)
+	alg, err := fsr.BuiltinAlgebra(builtin)
+	if err != nil {
+		return nil, nil, err
 	}
+	return alg, nil, nil
 }
 
-func gadgetByName(name string) (*spp.Instance, error) {
-	switch name {
-	case "goodgadget":
-		return spp.GoodGadget(), nil
-	case "badgadget":
-		return spp.BadGadget(), nil
-	case "disagree":
-		return spp.Disagree(), nil
-	case "fig3":
-		return spp.Figure3IBGP(), nil
-	case "fig3-fixed":
-		return spp.Figure3IBGPFixed(), nil
-	default:
-		return nil, fmt.Errorf("unknown gadget %q", name)
+// sessionFromFlags builds the Session every subcommand drives.
+func sessionFromFlags(solverName, runnerName string, opts ...fsr.Option) (*fsr.Session, error) {
+	solver, err := fsr.SolverBackendByName(solverName)
+	if err != nil {
+		return nil, err
 	}
+	runner, err := fsr.RunnerBackendByName(runnerName)
+	if err != nil {
+		return nil, err
+	}
+	opts = append([]fsr.Option{fsr.WithSolver(solver), fsr.WithRunner(runner)}, opts...)
+	return fsr.NewSession(opts...), nil
 }
 
 func cmdAnalyze(args []string) error {
@@ -150,17 +134,22 @@ func cmdAnalyze(args []string) error {
 	builtin := fs.String("builtin", "", "built-in policy name")
 	configPath := fs.String("config", "", "configuration file")
 	sppName := fs.String("spp", "", "built-in SPP gadget name")
+	solverName := fs.String("solver", "native", "solver backend: native|yices-text")
 	fs.Parse(args)
 	alg, conv, err := loadPolicy(*builtin, *configPath, *sppName)
 	if err != nil {
 		return err
 	}
-	rep, err := fsr.AnalyzeSafety(alg)
+	sess, err := sessionFromFlags(*solverName, "sim")
+	if err != nil {
+		return err
+	}
+	rep, err := sess.Analyze(context.Background(), alg)
 	if err != nil {
 		return err
 	}
 	fmt.Println(rep)
-	if conv != nil && rep.Verdict == analysis.Unsafe && len(rep.Steps) > 0 {
+	if conv != nil && rep.Verdict == fsr.Unsafe && len(rep.Steps) > 0 {
 		suspects := conv.SuspectNodes(rep.Steps[0].Core)
 		fmt.Printf("suspect nodes: %v\n", suspects)
 	}
@@ -177,7 +166,7 @@ func cmdCompile(args []string) error {
 	if err != nil {
 		return err
 	}
-	prog, err := fsr.CompileNDlog(alg)
+	prog, err := fsr.NewSession().Compile(alg)
 	if err != nil {
 		return err
 	}
@@ -195,7 +184,7 @@ func cmdYices(args []string) error {
 	if err != nil {
 		return err
 	}
-	text, err := fsr.YicesEncoding(alg)
+	text, err := fsr.NewSession().SolverEncoding(alg)
 	if err != nil {
 		return err
 	}
@@ -206,31 +195,29 @@ func cmdYices(args []string) error {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	gadget := fs.String("gadget", "fig3-fixed", "gadget instance to execute")
+	runnerName := fs.String("runner", "sim", "runner backend: sim|sim-ndlog|tcp")
 	horizon := fs.Duration("horizon", 5*time.Second, "simulation horizon")
 	batch := fs.Duration("batch", 20*time.Millisecond, "route propagation batch interval")
 	fs.Parse(args)
-	inst, err := gadgetByName(*gadget)
+	inst, err := fsr.Gadget(*gadget)
 	if err != nil {
 		return err
 	}
-	conv, err := inst.ToAlgebra()
+	sess, err := sessionFromFlags("native", *runnerName,
+		fsr.WithHorizon(*horizon),
+		fsr.WithBatchWindow(*batch),
+	)
 	if err != nil {
 		return err
 	}
-	col := trace.NewCollector(10 * time.Millisecond)
-	net := simnet.New(1, col)
-	nodes, err := pathvector.BuildSPP(net, conv, simnet.DefaultLink(), pathvector.Config{
-		BatchInterval: *batch,
-		StartStagger:  *batch / 2,
-	})
+	rep, err := sess.Run(context.Background(), inst)
 	if err != nil {
 		return err
 	}
-	res := net.Run(*horizon)
-	msgs, bytes := col.Totals()
-	fmt.Printf("%s: converged=%v time=%v messages=%d bytes=%d\n", inst.Name, res.Converged, res.Time, msgs, bytes)
+	fmt.Printf("%s [%s]: converged=%v time=%v messages=%d bytes=%d\n",
+		rep.Instance, rep.Runner, rep.Converged, rep.Time, rep.Messages, rep.Bytes)
 	for _, n := range inst.Nodes {
-		if best, ok := nodes[simnet.NodeID(n)].Best(pathvector.SPPDest); ok {
+		if best, ok := rep.Best[string(n)]; ok {
 			fmt.Printf("  %s → %v (%s)\n", n, best.Path, best.Sig)
 		} else {
 			fmt.Printf("  %s → no route\n", n)
@@ -251,10 +238,10 @@ func cmdExperiment(args []string) error {
 	fs.Parse(args[1:])
 	switch name {
 	case "table1":
-		fmt.Print(experiments.FormatTableI(experiments.TableI()))
+		fmt.Print(fsr.FormatTableI(fsr.TableI()))
 		return nil
 	case "table2":
-		prog, err := fsr.CompileNDlog(fsr.GaoRexfordA())
+		prog, err := fsr.NewSession().Compile(fsr.GaoRexfordA())
 		if err != nil {
 			return err
 		}
@@ -270,56 +257,57 @@ func cmdExperiment(args []string) error {
 		}
 		return nil
 	case "fig3":
-		res, suspects, err := fsr.AnalyzeSPP(fsr.Figure3IBGP())
+		sess := fsr.NewSession()
+		res, suspects, err := sess.AnalyzeSPP(context.Background(), fsr.Figure3IBGP())
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 		fmt.Printf("suspect nodes: %v\n", suspects)
-		fixed, _, err := fsr.AnalyzeSPP(fsr.Figure3IBGPFixed())
+		fixed, _, err := sess.AnalyzeSPP(context.Background(), fsr.Figure3IBGPFixed())
 		if err != nil {
 			return err
 		}
 		fmt.Println(fixed)
 		return nil
 	case "fig4":
-		opts := experiments.Figure4Options{Seed: *seed, Deployment: *deployment}
+		opts := fsr.Figure4Options{Seed: *seed, Deployment: *deployment}
 		if !*full {
 			opts.Depths = []int{3, 5, 7, 9, 11}
 			opts.Batch = 100 * time.Millisecond
 		}
-		res, err := experiments.Figure4(opts)
+		res, err := fsr.Figure4(opts)
 		if err != nil {
 			return err
 		}
 		fmt.Print(res)
 		return nil
 	case "fig5":
-		opts := experiments.Figure5Options{Seed: *seed}
+		opts := fsr.Figure5Options{Seed: *seed}
 		if !*full {
-			opts.ISP = topology.ISPParams{Routers: 40, Links: 120, Reflectors: 24, Levels: 6}
+			opts.ISP = fsr.ISPParams{Routers: 40, Links: 120, Reflectors: 24, Levels: 6}
 		}
-		res, err := experiments.Figure5(opts)
+		res, err := fsr.Figure5(opts)
 		if err != nil {
 			return err
 		}
 		fmt.Print(res)
 		return nil
 	case "fig6":
-		opts := experiments.Figure6Options{Seed: *seed}
+		opts := fsr.Figure6Options{Seed: *seed}
 		if !*full {
 			opts.Domains = 4
 			opts.DomainSize = 8
 			opts.CrossLinks = 16
 		}
-		res, err := experiments.Figure6(opts)
+		res, err := fsr.Figure6(opts)
 		if err != nil {
 			return err
 		}
 		fmt.Print(res)
 		return nil
 	case "vic":
-		reps, err := experiments.SectionVIC(experiments.SectionVICOptions{Seed: *seed})
+		reps, err := fsr.SectionVIC(fsr.SectionVICOptions{Seed: *seed})
 		if err != nil {
 			return err
 		}
@@ -338,11 +326,11 @@ func cmdTopo(args []string) error {
 	depth := fs.Int("depth", 5, "longest customer-provider chain")
 	seed := fs.Int64("seed", 1, "generation seed")
 	fs.Parse(args)
-	g := topology.GenerateHierarchy(*seed, topology.HierarchyParams{Depth: *depth})
+	g := fsr.GenerateHierarchy(*seed, fsr.HierarchyParams{Depth: *depth})
 	fmt.Printf("AS hierarchy: %d nodes, %d edges, depth %d\n", len(g.Nodes), len(g.Edges), g.Depth)
 	for _, e := range g.Edges {
 		rel := "provider-of"
-		if e.Rel == topology.PeerPeer {
+		if e.Rel == fsr.PeerPeer {
 			rel = "peer"
 		}
 		fmt.Printf("  %s %s %s\n", e.A, rel, e.B)

@@ -1,23 +1,21 @@
 // Command fsrnode runs a single deployment-mode GPV demonstration on
 // loopback sockets: the paper's RapidNet deployment mode in miniature. It
-// wires a gadget instance across real TCP connections, runs to quiescence,
-// and prints each node's selection — the same protocol code the simulator
-// drives, backed by the net package instead of virtual time.
+// builds an fsr.Session with the TCP deployment runner, wires a gadget
+// instance across real TCP connections, runs to quiescence, and prints each
+// node's selection — the same protocol code the simulator drives, backed by
+// the net package instead of virtual time.
 //
 // Usage: fsrnode [-gadget fig3-fixed] [-horizon 10s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"fsr"
-	"fsr/internal/pathvector"
-	"fsr/internal/simnet"
-	"fsr/internal/spp"
-	"fsr/internal/trace"
 )
 
 func main() {
@@ -26,44 +24,24 @@ func main() {
 	batch := flag.Duration("batch", 50*time.Millisecond, "route batching interval")
 	flag.Parse()
 
-	var inst *spp.Instance
-	switch *gadget {
-	case "goodgadget":
-		inst = spp.GoodGadget()
-	case "badgadget":
-		inst = spp.BadGadget()
-	case "disagree":
-		inst = spp.Disagree()
-	case "fig3":
-		inst = spp.Figure3IBGP()
-	case "fig3-fixed":
-		inst = spp.Figure3IBGPFixed()
-	default:
-		log.Fatalf("unknown gadget %q", *gadget)
-	}
-	conv, err := fsr.ConvertSPP(inst)
+	inst, err := fsr.Gadget(*gadget)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	col := trace.NewCollector(10 * time.Millisecond)
-	dep := simnet.NewDeployment(col)
-	nodes, err := pathvector.BuildSPPDeployment(dep, conv, pathvector.Config{
-		BatchInterval: *batch,
-		StartStagger:  *batch / 2,
-	})
+	sess := fsr.NewSession(
+		fsr.WithRunner(fsr.DeploymentRunner()),
+		fsr.WithHorizon(*horizon),
+		fsr.WithBatchWindow(*batch),
+		fsr.WithIdleWindow(*batch),
+	)
+	rep, err := sess.Run(context.Background(), inst)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := dep.Run(*horizon, *batch)
-	if err != nil {
-		log.Fatal(err)
-	}
-	msgs, bytes := col.Totals()
 	fmt.Printf("%s over TCP loopback: converged=%v time=%v messages=%d bytes=%d\n",
-		inst.Name, res.Converged, res.Time, msgs, bytes)
+		rep.Instance, rep.Converged, rep.Time, rep.Messages, rep.Bytes)
 	for _, n := range inst.Nodes {
-		if best, ok := nodes[simnet.NodeID(n)].Best(pathvector.SPPDest); ok {
+		if best, ok := rep.Best[string(n)]; ok {
 			fmt.Printf("  %s → %v (%s)\n", n, best.Path, best.Sig)
 		} else {
 			fmt.Printf("  %s → no route\n", n)

@@ -1,0 +1,56 @@
+package fsr
+
+import "context"
+
+// This file keeps the pre-Session free functions compiling: each is a thin
+// wrapper over a zero-configuration Session (native solver, simulation
+// runner, background context). New code should construct a Session and use
+// its context-aware methods; see CHANGES.md for the full migration map.
+
+// defaultSession backs the deprecated free functions. It is stateless
+// (default options, no shared collector), so sharing one instance is safe.
+var defaultSession = NewSession()
+
+// AnalyzeSafety decides safety for a policy configuration.
+//
+// Deprecated: use [Session.Analyze], which adds context cancellation and
+// solver-backend selection.
+func AnalyzeSafety(a Algebra) (SafetyReport, error) {
+	return defaultSession.Analyze(context.Background(), a)
+}
+
+// CheckStrictMonotonicity runs the single strict-monotonicity check.
+//
+// Deprecated: use [Session.CheckStrictMonotonicity].
+func CheckStrictMonotonicity(a Algebra) (AnalysisResult, error) {
+	return defaultSession.CheckStrictMonotonicity(context.Background(), a)
+}
+
+// CheckMonotonicity runs the plain monotonicity check.
+//
+// Deprecated: use [Session.CheckMonotonicity].
+func CheckMonotonicity(a Algebra) (AnalysisResult, error) {
+	return defaultSession.CheckMonotonicity(context.Background(), a)
+}
+
+// YicesEncoding renders the §IV-C style solver input for a policy.
+//
+// Deprecated: use [Session.SolverEncoding].
+func YicesEncoding(a Algebra) (string, error) {
+	return defaultSession.SolverEncoding(a)
+}
+
+// CompileNDlog translates a policy configuration to its NDlog
+// implementation.
+//
+// Deprecated: use [Session.Compile].
+func CompileNDlog(a Algebra) (*NDlogProgram, error) {
+	return defaultSession.Compile(a)
+}
+
+// AnalyzeSPP converts and checks an SPP instance in one step.
+//
+// Deprecated: use [Session.AnalyzeSPP].
+func AnalyzeSPP(in *SPPInstance) (AnalysisResult, []SPPNode, error) {
+	return defaultSession.AnalyzeSPP(context.Background(), in)
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,31 +44,30 @@ end
 `
 
 func main() {
+	ctx := context.Background()
+	sess := fsr.NewSession(fsr.WithParallelism(2))
+
 	file, err := fsr.ParseConfig(src)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The guideline: still not strictly monotonic on its own (c ⊕ C = C
+	// The guideline is still not strictly monotonic on its own (c ⊕ C = C
 	// survives any re-ranking of P and R), so FSR recommends a composition.
+	// AnalyzeAll checks the bare guideline and the composition concurrently
+	// over the session's worker pool.
 	alg := file.Algebras[0]
-	rep, err := fsr.AnalyzeSafety(alg)
+	reports, err := sess.AnalyzeAll(ctx, alg, fsr.Compose(alg, fsr.HopCount()))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("== custom guideline ==")
-	fmt.Println(rep)
-
-	composed := fsr.Compose(alg, fsr.HopCount())
-	rep2, err := fsr.AnalyzeSafety(composed)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Println(reports[0])
 	fmt.Println("\n== composed with hop count ==")
-	fmt.Println(rep2)
+	fmt.Println(reports[1])
 
 	// The instance: a DISAGREE written by hand in the spp section.
-	res, suspects, err := fsr.AnalyzeSPP(file.Instances[0])
+	res, suspects, err := sess.AnalyzeSPP(ctx, file.Instances[0])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func main() {
 	fmt.Printf("suspect nodes: %v\n", suspects)
 
 	// And the generated implementation for the guideline.
-	prog, err := fsr.CompileNDlog(alg)
+	prog, err := sess.Compile(alg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,24 +1,29 @@
 // ebgp-gadgets walks the researcher workflow of §VI-C on the classic eBGP
 // gadgets of Griffin, Shepherd and Wilfong: automated safety analysis
 // (replacing the manual proofs) followed by emulation of each gadget's
-// dynamics with the generated implementation.
+// dynamics with the generated implementation, all through one fsr.Session.
 //
 // Run with: go run ./examples/ebgp-gadgets
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"fsr"
-	"fsr/internal/pathvector"
-	"fsr/internal/simnet"
 )
 
 func main() {
+	ctx := context.Background()
+	sess := fsr.NewSession(
+		fsr.WithBatchWindow(20*time.Millisecond),
+		fsr.WithStartStagger(10*time.Millisecond),
+		fsr.WithHorizon(3*time.Second),
+	)
 	for _, inst := range fsr.Gadgets() {
-		res, _, err := fsr.AnalyzeSPP(inst)
+		res, _, err := sess.AnalyzeSPP(ctx, inst)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -28,23 +33,14 @@ func main() {
 		}
 		fmt.Printf("== %s: %s ==\n", inst.Name, verdict)
 
-		conv, err := fsr.ConvertSPP(inst)
+		run, err := sess.Run(ctx, inst)
 		if err != nil {
 			log.Fatal(err)
 		}
-		net := simnet.New(1, nil)
-		nodes, err := pathvector.BuildSPP(net, conv, simnet.DefaultLink(), pathvector.Config{
-			BatchInterval: 20 * time.Millisecond,
-			StartStagger:  10 * time.Millisecond,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		run := net.Run(3 * time.Second)
 		if run.Converged {
 			fmt.Printf("execution: converged at %v after %d deliveries\n", run.Time, run.Delivered)
 			for _, n := range inst.Nodes {
-				if best, ok := nodes[simnet.NodeID(n)].Best(pathvector.SPPDest); ok {
+				if best, ok := run.Best[string(n)]; ok {
 					fmt.Printf("  %s selects %v\n", n, best.Path)
 				}
 			}

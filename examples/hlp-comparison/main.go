@@ -10,11 +10,11 @@ import (
 	"fmt"
 	"log"
 
-	"fsr/internal/experiments"
+	"fsr"
 )
 
 func main() {
-	res, err := experiments.Figure6(experiments.Figure6Options{
+	res, err := fsr.Figure6(fsr.Figure6Options{
 		Seed:       42,
 		Domains:    5,
 		DomainSize: 10,

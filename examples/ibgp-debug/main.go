@@ -1,28 +1,34 @@
 // ibgp-debug walks the network-operator workflow of §IV-C and §VI-B on the
 // paper's Figure 3 iBGP configuration: analyze, read the unsat core, fix
 // the implicated reflectors, verify, then execute both configurations to
-// see the oscillation disappear.
+// see the oscillation disappear. The whole loop runs through one
+// fsr.Session.
 //
 // Run with: go run ./examples/ibgp-debug
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"fsr"
-	"fsr/internal/pathvector"
-	"fsr/internal/simnet"
-	"fsr/internal/trace"
 )
 
 func main() {
+	ctx := context.Background()
+	sess := fsr.NewSession(
+		fsr.WithBatchWindow(20*time.Millisecond),
+		fsr.WithStartStagger(10*time.Millisecond),
+		fsr.WithHorizon(2*time.Second),
+	)
+
 	// The operator's configuration: Figure 3's reflectors each prefer
 	// another reflector's client over their own.
 	broken := fsr.Figure3IBGP()
 
-	res, suspects, err := fsr.AnalyzeSPP(broken)
+	res, suspects, err := sess.AnalyzeSPP(ctx, broken)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +39,7 @@ func main() {
 	// The unsat core names the reflectors a, b, c — not the egress routers.
 	// Fix their preferences and re-verify, as §IV-C does.
 	fixed := fsr.Figure3IBGPFixed()
-	res2, _, err := fsr.AnalyzeSPP(fixed)
+	res2, _, err := sess.AnalyzeSPP(ctx, fixed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,22 +49,11 @@ func main() {
 	// Execute both configurations (simulation mode) and compare traffic,
 	// the Figure 5 methodology in miniature.
 	for _, inst := range []*fsr.SPPInstance{broken, fixed} {
-		conv, err := fsr.ConvertSPP(inst)
+		run, err := sess.Run(ctx, inst)
 		if err != nil {
 			log.Fatal(err)
 		}
-		col := trace.NewCollector(10 * time.Millisecond)
-		net := simnet.New(1, col)
-		_, err = pathvector.BuildSPP(net, conv, simnet.DefaultLink(), pathvector.Config{
-			BatchInterval: 20 * time.Millisecond,
-			StartStagger:  10 * time.Millisecond,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		run := net.Run(2 * time.Second)
-		msgs, bytes := col.Totals()
 		fmt.Printf("\n%s: converged=%v time=%v messages=%d bytes=%d\n",
-			inst.Name, run.Converged, run.Time, msgs, bytes)
+			run.Instance, run.Converged, run.Time, run.Messages, run.Bytes)
 	}
 }

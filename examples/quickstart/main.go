@@ -3,12 +3,14 @@
 // A policy configuration (Gao-Rexford guideline A) goes in; out come (a) a
 // safety analysis — unsat for the bare guideline, sat for its composition
 // with a strictly monotonic tie-breaker — and (b) a distributed NDlog
-// implementation generated from the very same algebra.
+// implementation generated from the very same algebra. One fsr.Session owns
+// the whole pipeline.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,12 +18,15 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	sess := fsr.NewSession() // defaults: native solver, simulation runner
+
 	// 1. The policy configuration: Gao-Rexford guideline A (§II-B).
 	guideline := fsr.GaoRexfordA()
 
 	// 2. Safety analysis (§IV): the guideline alone is not strictly
 	// monotonic — the solver returns unsat and pinpoints c ⊕ C = C.
-	res, err := fsr.CheckStrictMonotonicity(guideline)
+	res, err := sess.CheckStrictMonotonicity(ctx, guideline)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,8 +35,7 @@ func main() {
 
 	// 3. The standard fix: compose with shortest hop-count as the
 	// tie-breaker. The composition rule proves the product safe.
-	safe := fsr.GaoRexfordSafe()
-	report, err := fsr.AnalyzeSafety(safe)
+	report, err := sess.Analyze(ctx, fsr.GaoRexfordSafe())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,15 +44,16 @@ func main() {
 
 	// 4. The same algebra compiles to a distributed implementation: the
 	// GPV program plus the four policy functions of Table II.
-	prog, err := fsr.CompileNDlog(guideline)
+	prog, err := sess.Compile(guideline)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\n== generated NDlog implementation ==")
 	fmt.Print(prog)
 
-	// 5. And to the Yices encoding the paper prints in §IV-C.
-	yices, err := fsr.YicesEncoding(guideline)
+	// 5. And to the Yices encoding the paper prints in §IV-C — the same
+	// text the fsr.YicesTextSolver() backend round-trips.
+	yices, err := sess.SolverEncoding(guideline)
 	if err != nil {
 		log.Fatal(err)
 	}

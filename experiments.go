@@ -1,0 +1,78 @@
+package fsr
+
+import (
+	"fsr/internal/experiments"
+	"fsr/internal/topology"
+)
+
+// Re-exports for the paper's evaluation (§VI): the tables, figures, and
+// topology generators the fsr CLI and the examples drive. These remain
+// free functions — each experiment is a self-contained scenario with its
+// own options struct — while the pipeline underneath them goes through the
+// same internal packages a Session configures.
+
+// Experiment option and result types.
+type (
+	// TableIRow classifies one policy configuration (Table I).
+	TableIRow = experiments.TableIRow
+	// Figure4Options / Figure4Result parameterize the convergence-vs-
+	// chain-length study (CAIDA-Sim, Figure 4).
+	Figure4Options = experiments.Figure4Options
+	Figure4Result  = experiments.Figure4Result
+	// Figure5Options / Figure5Result parameterize the §VI-B iBGP study.
+	Figure5Options = experiments.Figure5Options
+	Figure5Result  = experiments.Figure5Result
+	// Figure6Options / Figure6Result parameterize the PV/HLP/HLP-CH
+	// comparison (Figure 6).
+	Figure6Options = experiments.Figure6Options
+	Figure6Result  = experiments.Figure6Result
+	// SectionVICOptions / GadgetReport parameterize the §VI-C gadget
+	// studies.
+	SectionVICOptions = experiments.SectionVICOptions
+	GadgetReport      = experiments.GadgetReport
+)
+
+// TableI regenerates Table I: the policy-configuration spectrum.
+func TableI() []TableIRow { return experiments.TableI() }
+
+// FormatTableI renders Table I rows the way the paper prints them.
+func FormatTableI(rows []TableIRow) string { return experiments.FormatTableI(rows) }
+
+// Figure4 regenerates the convergence-vs-chain-length series.
+func Figure4(opts Figure4Options) (Figure4Result, error) { return experiments.Figure4(opts) }
+
+// Figure5 regenerates the §VI-B iBGP study: extraction, analysis, and the
+// bandwidth comparison.
+func Figure5(opts Figure5Options) (*Figure5Result, error) { return experiments.Figure5(opts) }
+
+// Figure6 regenerates the PV / HLP / HLP-CH comparison.
+func Figure6(opts Figure6Options) (*Figure6Result, error) { return experiments.Figure6(opts) }
+
+// SectionVIC reproduces the §VI-C gadget emulation study.
+func SectionVIC(opts SectionVICOptions) ([]GadgetReport, error) { return experiments.SectionVIC(opts) }
+
+// Topology generation.
+type (
+	// ASGraph is a generated AS-level topology with business
+	// relationships.
+	ASGraph = topology.ASGraph
+	// ASEdge is one provider-customer or peer-peer adjacency.
+	ASEdge = topology.ASEdge
+	// HierarchyParams parameterizes GenerateHierarchy.
+	HierarchyParams = topology.HierarchyParams
+	// ISPParams parameterizes the router-level ISP generator used by
+	// Figure5Options.
+	ISPParams = topology.ISPParams
+)
+
+// AS relationship kinds.
+const (
+	CustomerProvider = topology.CustomerProvider
+	PeerPeer         = topology.PeerPeer
+)
+
+// GenerateHierarchy generates a Gao-Rexford-style AS hierarchy with the
+// given longest customer-provider chain.
+func GenerateHierarchy(seed int64, p HierarchyParams) *ASGraph {
+	return topology.GenerateHierarchy(seed, p)
+}

@@ -15,18 +15,53 @@
 //     NDlog program (the generalized path-vector protocol plus the four
 //     policy functions) executable in simulation or over real sockets.
 //
+// # Sessions
+//
+// The entry point is a [Session], which owns the full pipeline — policy →
+// constraints → solver verdict → NDlog program → simulated or socket
+// deployment — and is configured once with functional options:
+//
+//	sess := fsr.NewSession(
+//		fsr.WithSolver(fsr.YicesTextSolver()),
+//		fsr.WithRunner(fsr.DeploymentRunner()),
+//		fsr.WithSeed(42),
+//		fsr.WithBatchWindow(50*time.Millisecond),
+//	)
+//	rep, err := sess.Analyze(ctx, fsr.GaoRexfordSafe())
+//	run, err := sess.Run(ctx, fsr.Figure3IBGPFixed())
+//
+// Every long-running stage is context-aware: cancelling the context aborts
+// a solve mid-minimization or a protocol execution mid-run. Backends are
+// chosen by option, never by importing a different package: [WithSolver]
+// selects between the native difference-logic engine and the Yices
+// text-encoding path, and [WithRunner] selects between discrete-event
+// simulation (compiled or NDlog-interpreted GPV) and real-TCP deployment.
+// [Session.AnalyzeAll] fans a batch of policies out over a worker pool
+// sized by [WithParallelism].
+//
+// The zero-configuration path still works: fsr.NewSession() uses the native
+// solver, the simulation runner, seed 1, and unbatched sends. The package-
+// level free functions of earlier versions remain as thin deprecated
+// wrappers over a default session (see compat.go).
+//
 // The heavy lifting lives in the internal packages (algebra, smt, analysis,
 // spp, ndlog, engine, simnet, pathvector, hlp, topology, experiments); this
 // package re-exports the entry points a downstream user needs, so the
-// examples read like client code.
+// commands and examples read like client code and import nothing internal.
 package fsr
 
 import (
+	"fmt"
+	"strings"
+	"time"
+
 	"fsr/internal/algebra"
 	"fsr/internal/analysis"
 	"fsr/internal/config"
+	"fsr/internal/engine"
 	"fsr/internal/ndlog"
 	"fsr/internal/spp"
+	"fsr/internal/trace"
 )
 
 // Re-exported core types. See the internal packages for full documentation.
@@ -39,8 +74,22 @@ type (
 	SafetyReport = analysis.Report
 	// SPPInstance is a Stable Paths Problem instance.
 	SPPInstance = spp.Instance
+	// SPPConversion is an SPP instance converted to its algebra, with the
+	// pinpointing maps that translate unsat cores back to nodes.
+	SPPConversion = spp.Conversion
+	// SPPNode names a node of an SPP instance.
+	SPPNode = spp.Node
 	// NDlogProgram is a generated or parsed NDlog program.
 	NDlogProgram = ndlog.Program
+	// RunReport is the uniform outcome of a protocol execution on any
+	// runner backend.
+	RunReport = engine.RunReport
+	// NodeRoute is one node's selected route in a RunReport.
+	NodeRoute = engine.NodeRoute
+	// ConfigFile is a parsed FSR configuration file.
+	ConfigFile = config.File
+	// TraceCollector accumulates per-node traffic metrics during a run.
+	TraceCollector = trace.Collector
 )
 
 // Verdicts.
@@ -62,33 +111,49 @@ func HopCount() Algebra { return algebra.HopCount{} }
 // shortest hop-count as tie-breaker (§IV-C).
 func GaoRexfordSafe() Algebra { return algebra.GaoRexfordWithHopCount() }
 
+// BackupRouting returns the backup-routing algebra with the given number of
+// backup levels (Table I's topology-specific guideline).
+func BackupRouting(levels int) Algebra { return algebra.BackupRouting(levels) }
+
 // Compose returns the lexical product a ⊗ b (§II-A).
 func Compose(a, b Algebra) Algebra { return algebra.NewProduct(a, b) }
 
-// AnalyzeSafety decides safety for a policy configuration, applying the
-// lexical-product composition rule (§IV).
-func AnalyzeSafety(a Algebra) (SafetyReport, error) { return analysis.AnalyzeSafety(a) }
-
-// CheckStrictMonotonicity runs the single strict-monotonicity check,
-// returning the solver-level result with model or minimal core.
-func CheckStrictMonotonicity(a Algebra) (AnalysisResult, error) {
-	return analysis.Check(a, analysis.StrictMonotonicity)
+// builtinAlgebras is the single table behind BuiltinAlgebra and
+// BuiltinAlgebraNames; the first entry is the default for the empty name.
+var builtinAlgebras = []struct {
+	name string
+	ctor func() Algebra
+}{
+	{"gao-rexford-a", GaoRexfordA},
+	{"gao-rexford-b", GaoRexfordB},
+	{"gao-rexford-safe", GaoRexfordSafe},
+	{"hop-count", HopCount},
+	{"backup", func() Algebra { return BackupRouting(2) }},
 }
 
-// CheckMonotonicity runs the plain monotonicity check.
-func CheckMonotonicity(a Algebra) (AnalysisResult, error) {
-	return analysis.Check(a, analysis.Monotonicity)
+// BuiltinAlgebra resolves a built-in policy configuration by name:
+// gao-rexford-a, gao-rexford-b, gao-rexford-safe, hop-count, backup. The
+// empty name resolves to gao-rexford-a.
+func BuiltinAlgebra(name string) (Algebra, error) {
+	if name == "" {
+		return builtinAlgebras[0].ctor(), nil
+	}
+	for _, b := range builtinAlgebras {
+		if b.name == name {
+			return b.ctor(), nil
+		}
+	}
+	return nil, errUnknown("builtin policy", name, BuiltinAlgebraNames())
 }
 
-// YicesEncoding renders the §IV-C style solver input for a policy.
-func YicesEncoding(a Algebra) (string, error) {
-	return analysis.Yices(a, analysis.StrictMonotonicity)
+// BuiltinAlgebraNames lists the names BuiltinAlgebra accepts.
+func BuiltinAlgebraNames() []string {
+	out := make([]string, len(builtinAlgebras))
+	for i, b := range builtinAlgebras {
+		out[i] = b.name
+	}
+	return out
 }
-
-// CompileNDlog translates a policy configuration to its NDlog
-// implementation: the GPV program plus the generated policy functions
-// (§V, Table II).
-func CompileNDlog(a Algebra) (*NDlogProgram, error) { return ndlog.Generate(a) }
 
 // Figure3IBGP returns the paper's six-node iBGP gadget (Figure 3).
 func Figure3IBGP() *SPPInstance { return spp.Figure3IBGP() }
@@ -101,25 +166,57 @@ func Gadgets() []*SPPInstance {
 	return []*SPPInstance{spp.GoodGadget(), spp.BadGadget(), spp.Disagree()}
 }
 
+// builtinGadgets is the single table behind Gadget and GadgetNames.
+var builtinGadgets = []struct {
+	name string
+	ctor func() *SPPInstance
+}{
+	{"goodgadget", spp.GoodGadget},
+	{"badgadget", spp.BadGadget},
+	{"disagree", spp.Disagree},
+	{"fig3", spp.Figure3IBGP},
+	{"fig3-fixed", spp.Figure3IBGPFixed},
+}
+
+// Gadget resolves a built-in SPP gadget by name: goodgadget, badgadget,
+// disagree, fig3, fig3-fixed. Parameterized instances are separate
+// constructors (see ChainGadget).
+func Gadget(name string) (*SPPInstance, error) {
+	for _, g := range builtinGadgets {
+		if g.name == name {
+			return g.ctor(), nil
+		}
+	}
+	return nil, errUnknown("gadget", name, GadgetNames())
+}
+
+// GadgetNames lists the names Gadget accepts.
+func GadgetNames() []string {
+	out := make([]string, len(builtinGadgets))
+	for i, g := range builtinGadgets {
+		out[i] = g.name
+	}
+	return out
+}
+
+// ChainGadget returns a satisfiable chain instance of n nodes, used for
+// solver scaling studies.
+func ChainGadget(n int) *SPPInstance { return spp.ChainGadget(n) }
+
 // ConvertSPP translates an SPP instance to its algebraic representation
 // (§III-B), returning the conversion with its pinpointing maps.
-func ConvertSPP(in *SPPInstance) (*spp.Conversion, error) { return in.ToAlgebra() }
-
-// AnalyzeSPP converts and checks an SPP instance in one step, returning the
-// analysis result and the suspect nodes implicated by the core (empty when
-// sat).
-func AnalyzeSPP(in *SPPInstance) (AnalysisResult, []spp.Node, error) {
-	conv, err := in.ToAlgebra()
-	if err != nil {
-		return AnalysisResult{}, nil, err
-	}
-	res, err := analysis.Check(conv.Algebra, analysis.StrictMonotonicity)
-	if err != nil {
-		return AnalysisResult{}, nil, err
-	}
-	return res, conv.SuspectNodes(res.Core), nil
-}
+func ConvertSPP(in *SPPInstance) (*SPPConversion, error) { return in.ToAlgebra() }
 
 // ParseConfig reads the FSR configuration language (algebras, SPP
 // instances, AS relationship graphs).
-func ParseConfig(src string) (*config.File, error) { return config.Parse(src) }
+func ParseConfig(src string) (*ConfigFile, error) { return config.Parse(src) }
+
+// NewTraceCollector returns a traffic collector with the given bandwidth-
+// series bucket width, for use with WithTrace.
+func NewTraceCollector(bucketWidth time.Duration) *TraceCollector {
+	return trace.NewCollector(bucketWidth)
+}
+
+func errUnknown(kind, name string, known []string) error {
+	return fmt.Errorf("fsr: unknown %s %q (have: %s)", kind, name, strings.Join(known, ", "))
+}

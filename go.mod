@@ -1,0 +1,3 @@
+module fsr
+
+go 1.24

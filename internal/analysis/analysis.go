@@ -21,6 +21,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -297,18 +298,30 @@ func Constraints(a algebra.Algebra, cond Condition) ([]Constraint, error) {
 	return out, nil
 }
 
-// Check decides the given condition for the algebra: it generates the
-// constraints, runs the solver, and maps the outcome back to policy terms.
+// Check decides the given condition for the algebra with the native solver
+// backend: it generates the constraints, runs the solver, and maps the
+// outcome back to policy terms.
 func Check(a algebra.Algebra, cond Condition) (Result, error) {
+	return CheckWith(context.Background(), a, cond, smt.Native{})
+}
+
+// CheckWith is Check with an explicit context and solver backend: the
+// constraint generation is shared, the decision procedure is the caller's
+// choice (native difference logic or the Yices text-encoding path), and a
+// cancelled context aborts the solve with ctx.Err().
+func CheckWith(ctx context.Context, a algebra.Algebra, cond Condition, solver smt.Solver) (Result, error) {
+	if solver == nil {
+		solver = smt.Native{}
+	}
 	cons, err := Constraints(a, cond)
 	if err != nil {
 		return Result{}, err
 	}
-	solver := smt.NewSolver()
+	asserts := make([]smt.Assertion, len(cons))
 	byOrigin := map[string]Constraint{}
 	res := Result{Algebra: a.Name(), Condition: cond}
-	for _, c := range cons {
-		solver.Assert(c.Assertion)
+	for i, c := range cons {
+		asserts[i] = c.Assertion
 		byOrigin[c.Assertion.Origin] = c
 		switch c.Kind {
 		case KindPreference:
@@ -317,7 +330,7 @@ func Check(a algebra.Algebra, cond Condition) (Result, error) {
 			res.NumMonotonicity++
 		}
 	}
-	out, err := solver.Check()
+	out, err := solver.Solve(ctx, asserts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -345,7 +358,7 @@ func Yices(a algebra.Algebra, cond Condition) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	solver := smt.NewSolver()
+	solver := smt.NewContext()
 	for _, c := range cons {
 		solver.Assert(c.Assertion)
 	}
@@ -391,16 +404,22 @@ func (r Report) String() string {
 	return b.String()
 }
 
-// AnalyzeSafety decides safety for a policy configuration, applying the
-// composition rule for lexical products (§IV-B): for A ⊗ B, if A is strictly
-// monotonic the product is safe; if A is monotonic and B strictly monotonic
-// it is safe; otherwise it is deemed unsafe. Non-product algebras are safe
-// iff strictly monotonic.
+// AnalyzeSafety decides safety for a policy configuration with the native
+// solver backend, applying the composition rule for lexical products
+// (§IV-B): for A ⊗ B, if A is strictly monotonic the product is safe; if A
+// is monotonic and B strictly monotonic it is safe; otherwise it is deemed
+// unsafe. Non-product algebras are safe iff strictly monotonic.
 func AnalyzeSafety(a algebra.Algebra) (Report, error) {
+	return AnalyzeSafetyWith(context.Background(), a, smt.Native{})
+}
+
+// AnalyzeSafetyWith is AnalyzeSafety with an explicit context and solver
+// backend.
+func AnalyzeSafetyWith(ctx context.Context, a algebra.Algebra, solver smt.Solver) (Report, error) {
 	if p, ok := a.(algebra.Product); ok {
-		return analyzeProduct(p)
+		return analyzeProduct(ctx, p, solver)
 	}
-	res, err := Check(a, StrictMonotonicity)
+	res, err := CheckWith(ctx, a, StrictMonotonicity, solver)
 	if err != nil {
 		return Report{}, err
 	}
@@ -415,8 +434,8 @@ func AnalyzeSafety(a algebra.Algebra) (Report, error) {
 	return rep, nil
 }
 
-func analyzeProduct(p algebra.Product) (Report, error) {
-	first, err := AnalyzeSafety(p.First)
+func analyzeProduct(ctx context.Context, p algebra.Product, solver smt.Solver) (Report, error) {
+	first, err := AnalyzeSafetyWith(ctx, p.First, solver)
 	if err != nil {
 		return Report{}, err
 	}
@@ -426,7 +445,7 @@ func analyzeProduct(p algebra.Product) (Report, error) {
 		rep.Reason = fmt.Sprintf("first factor of %s is strictly monotonic; lexical product is safe", p.Name())
 		return rep, nil
 	}
-	mono, err := Check(p.First, Monotonicity)
+	mono, err := CheckWith(ctx, p.First, Monotonicity, solver)
 	if err != nil {
 		return Report{}, err
 	}
@@ -436,7 +455,7 @@ func analyzeProduct(p algebra.Product) (Report, error) {
 		rep.Reason = fmt.Sprintf("first factor %s is not even monotonic; %s deemed unsafe", p.First.Name(), p.Name())
 		return rep, nil
 	}
-	second, err := AnalyzeSafety(p.Second)
+	second, err := AnalyzeSafetyWith(ctx, p.Second, solver)
 	if err != nil {
 		return Report{}, err
 	}

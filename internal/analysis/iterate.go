@@ -29,7 +29,7 @@ func IterateCores(a algebra.Algebra, cond Condition, maxRounds int) (cores [][]C
 		byOrigin[c.Assertion.Origin] = i
 	}
 	for round := 0; maxRounds <= 0 || round < maxRounds; round++ {
-		s := smt.NewSolver()
+		s := smt.NewContext()
 		for i, c := range cons {
 			if active[i] {
 				s.Assert(c.Assertion)

@@ -88,7 +88,11 @@ func TestFigure5Shape(t *testing.T) {
 	if n := len(res.GadgetAnalysis.Core); n == 0 || n > 8 {
 		t.Errorf("gadget core should be small (dispute wheel), got %d constraints", n)
 	}
-	if res.GadgetAnalysis.Stats.Duration > 2*time.Second {
+	limit := 2 * time.Second
+	if raceEnabled {
+		limit *= 10 // the race detector slows the minimization probes
+	}
+	if res.GadgetAnalysis.Stats.Duration > limit {
 		t.Errorf("solver should answer quickly (paper: <100 ms), took %v", res.GadgetAnalysis.Stats.Duration)
 	}
 	// Pinpointing: every suspect is an embedded router (reflector or its

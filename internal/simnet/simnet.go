@@ -9,6 +9,7 @@ package simnet
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -190,21 +191,39 @@ type RunResult struct {
 // to the horizon; a convergent one drains the queue, and the drain time is
 // its convergence time.
 func (n *Network) Run(horizon time.Duration) RunResult {
+	res, _ := n.RunContext(context.Background(), horizon)
+	return res
+}
+
+// RunContext is Run with cancellation: the context is polled every event
+// batch, so cancelling mid-simulation aborts a long (or never-converging)
+// run with ctx.Err() and the partial result processed so far.
+func (n *Network) RunContext(ctx context.Context, horizon time.Duration) (RunResult, error) {
 	for _, id := range n.order {
 		nd := n.nodes[id]
 		n.schedule(0, func() { nd.handler.Start(nd.env) })
 	}
-	return n.resume(horizon)
+	return n.resume(ctx, horizon)
 }
 
+// ctxCheckInterval is how many events are processed between context polls:
+// frequent enough that cancellation lands within microseconds, rare enough
+// that the atomic load cost is invisible.
+const ctxCheckInterval = 64
+
 // resume continues processing (used by Run and by tests that inject events).
-func (n *Network) resume(horizon time.Duration) RunResult {
+func (n *Network) resume(ctx context.Context, horizon time.Duration) (RunResult, error) {
 	var processed int64
 	var lastEvent time.Duration
 	for n.queue.Len() > 0 {
+		if processed%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return RunResult{Converged: false, Time: n.now, Events: processed, Delivered: n.delivered}, err
+			}
+		}
 		if n.queue.Peek().at > horizon {
 			n.now = horizon
-			return RunResult{Converged: false, Time: horizon, Events: processed, Delivered: n.delivered}
+			return RunResult{Converged: false, Time: horizon, Events: processed, Delivered: n.delivered}, nil
 		}
 		e := heap.Pop(&n.queue).(*event)
 		if e.at > n.now {
@@ -215,7 +234,7 @@ func (n *Network) resume(horizon time.Duration) RunResult {
 		processed++
 	}
 	n.collector.MarkConverged(lastEvent)
-	return RunResult{Converged: true, Time: lastEvent, Events: processed, Delivered: n.delivered}
+	return RunResult{Converged: true, Time: lastEvent, Events: processed, Delivered: n.delivered}, nil
 }
 
 // deliver models the link: FIFO serialization at the sender, then

@@ -1,8 +1,8 @@
 package simnet
 
 import (
+	"context"
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -117,6 +117,12 @@ func (d *Deployment) Connect(a, b NodeID) error {
 // quiescence (no in-flight work for idleWindow) or the horizon. It returns
 // the convergence result measured in wall-clock time since start.
 func (d *Deployment) Run(horizon, idleWindow time.Duration) (RunResult, error) {
+	return d.RunContext(context.Background(), horizon, idleWindow)
+}
+
+// RunContext is Run with cancellation: a cancelled context tears the
+// deployment down and returns ctx.Err() together with the partial result.
+func (d *Deployment) RunContext(ctx context.Context, horizon, idleWindow time.Duration) (RunResult, error) {
 	if idleWindow <= 0 {
 		idleWindow = 200 * time.Millisecond
 	}
@@ -173,7 +179,13 @@ func (d *Deployment) Run(horizon, idleWindow time.Duration) (RunResult, error) {
 	deadline := time.Now().Add(horizon)
 	ticker := time.NewTicker(5 * time.Millisecond)
 	defer ticker.Stop()
-	for range ticker.C {
+	for {
+		select {
+		case <-ctx.Done():
+			d.shutdown()
+			return RunResult{Converged: false, Time: time.Since(d.start)}, ctx.Err()
+		case <-ticker.C:
+		}
 		if time.Now().After(deadline) {
 			d.shutdown()
 			return RunResult{Converged: false, Time: horizon}, nil
@@ -185,7 +197,6 @@ func (d *Deployment) Run(horizon, idleWindow time.Duration) (RunResult, error) {
 			return RunResult{Converged: true, Time: last}, nil
 		}
 	}
-	return RunResult{}, errors.New("unreachable")
 }
 
 func (d *Deployment) touch() {

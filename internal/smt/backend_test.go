@@ -1,0 +1,65 @@
+package smt
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// unsatChain builds x < y, y < x — unsat with a two-element core.
+func unsatChain() []Assertion {
+	return []Assertion{
+		{Rel: Lt, A: V("x"), B: V("y"), Origin: "first"},
+		{Rel: Lt, A: V("y"), B: V("x"), Origin: "second"},
+	}
+}
+
+// TestBackendsAgree: both backends return identical verdicts and cores on
+// sat and unsat inputs, and the yices-text round trip preserves provenance.
+func TestBackendsAgree(t *testing.T) {
+	sat := []Assertion{
+		{Rel: Lt, A: V("a"), B: V("b"), Origin: "pref"},
+		{Rel: Le, A: V("b"), B: V("c").Plus(2), Origin: "mono"},
+	}
+	for _, backend := range Backends() {
+		res, err := backend.Solve(context.Background(), sat)
+		if err != nil || !res.Sat {
+			t.Fatalf("%s: sat input: sat=%v err=%v", backend.Name(), res.Sat, err)
+		}
+		res, err = backend.Solve(context.Background(), unsatChain())
+		if err != nil || res.Sat {
+			t.Fatalf("%s: unsat input: sat=%v err=%v", backend.Name(), res.Sat, err)
+		}
+		if len(res.Core) != 2 {
+			t.Errorf("%s: core size %d, want 2", backend.Name(), len(res.Core))
+		}
+		for _, a := range res.Core {
+			if a.Origin != "first" && a.Origin != "second" {
+				t.Errorf("%s: core lost provenance: %q", backend.Name(), a.Origin)
+			}
+		}
+	}
+}
+
+// TestBackendCancellation: a cancelled context aborts both backends.
+func TestBackendCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, backend := range Backends() {
+		if _, err := backend.Solve(ctx, unsatChain()); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: cancelled solve returned %v, want context.Canceled", backend.Name(), err)
+		}
+	}
+}
+
+// TestSolverByName covers the lookup table.
+func TestSolverByName(t *testing.T) {
+	for _, name := range []string{"", "native", "yices-text", "yices"} {
+		if _, err := SolverByName(name); err != nil {
+			t.Errorf("SolverByName(%q): %v", name, err)
+		}
+	}
+	if _, err := SolverByName("cvc5"); err == nil {
+		t.Error("unknown backend should error")
+	}
+}

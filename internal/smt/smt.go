@@ -21,6 +21,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -158,9 +159,11 @@ type Result struct {
 	Stats Stats
 }
 
-// Solver accumulates assertions; Check decides them. The zero value is ready
-// to use. Solvers are not safe for concurrent mutation.
-type Solver struct {
+// Context accumulates assertions; Check decides them. The zero value is
+// ready to use. Contexts are not safe for concurrent mutation. Callers that
+// want a pluggable decision procedure should go through the Solver interface
+// instead of using a Context directly.
+type Context struct {
 	asserts []Assertion
 
 	// NoMinimize disables deletion-based core minimization: unsat results
@@ -171,28 +174,28 @@ type Solver struct {
 	NoMinimize bool
 }
 
-// NewSolver returns an empty solver.
-func NewSolver() *Solver { return &Solver{} }
+// NewContext returns an empty logical context.
+func NewContext() *Context { return &Context{} }
 
 // Assert adds an assertion to the logical context.
-func (s *Solver) Assert(a Assertion) { s.asserts = append(s.asserts, a.normalized()) }
+func (s *Context) Assert(a Assertion) { s.asserts = append(s.asserts, a.normalized()) }
 
 // AssertAll adds all assertions in order.
-func (s *Solver) AssertAll(as []Assertion) {
+func (s *Context) AssertAll(as []Assertion) {
 	for _, a := range as {
 		s.Assert(a)
 	}
 }
 
 // Assertions returns the asserted atoms in assertion order.
-func (s *Solver) Assertions() []Assertion {
+func (s *Context) Assertions() []Assertion {
 	out := make([]Assertion, len(s.asserts))
 	copy(out, s.asserts)
 	return out
 }
 
 // Len returns the number of asserted atoms.
-func (s *Solver) Len() int { return len(s.asserts) }
+func (s *Context) Len() int { return len(s.asserts) }
 
 // edge is one difference constraint to(x) − from(y) ≤ w, i.e. an edge
 // from → to of weight w in the constraint graph; assertIdx < 0 marks the
@@ -300,9 +303,18 @@ func groundSat(all []Assertion, idxs []int, active []bool) bool {
 // Check decides the conjunction of all asserted atoms. It returns an error
 // only for quantified assertions outside the supported pattern; unsat inputs
 // produce Sat=false with a minimal core, not an error.
-func (s *Solver) Check() (Result, error) {
+func (s *Context) Check() (Result, error) { return s.CheckContext(context.Background()) }
+
+// CheckContext is Check with cancellation: the context is consulted between
+// solver phases and on every core-minimization probe (the dominant cost on
+// unsat inputs), so a cancelled long-running solve returns ctx.Err()
+// promptly.
+func (s *Context) CheckContext(ctx context.Context) (Result, error) {
 	start := time.Now()
 	res := Result{}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 
 	// Phase 1: decide quantified assertions analytically.
 	groundIdx := []int{}
@@ -332,10 +344,14 @@ func (s *Solver) Check() (Result, error) {
 
 	if relaxedNode >= 0 {
 		var coreIdx []int
+		var err error
 		if s.NoMinimize {
 			coreIdx, res.UsesPositivity = extractCycleCore(g, pred, relaxedNode, groundIdx)
 		} else {
-			coreIdx, res.UsesPositivity = s.minimizeCore(groundIdx)
+			coreIdx, res.UsesPositivity, err = s.minimizeCore(ctx, groundIdx)
+			if err != nil {
+				return Result{}, err
+			}
 		}
 		core := make([]Assertion, len(coreIdx))
 		for i, ai := range coreIdx {
@@ -366,12 +382,15 @@ func (s *Solver) Check() (Result, error) {
 // minimal unsatisfiable subset (every proper subset is satisfiable) biased
 // toward the earliest-asserted constraints, matching the way the paper's
 // narratives name the first violation (c ⊕ C = C for Gao-Rexford).
-func (s *Solver) minimizeCore(groundIdx []int) (core []int, usesPositivity bool) {
+func (s *Context) minimizeCore(ctx context.Context, groundIdx []int) (core []int, usesPositivity bool, err error) {
 	active := make([]bool, len(s.asserts))
 	for _, i := range groundIdx {
 		active[i] = true
 	}
 	for k := len(groundIdx) - 1; k >= 0; k-- {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		i := groundIdx[k]
 		active[i] = false
 		if groundSat(s.asserts, groundIdx, active) {
@@ -387,7 +406,7 @@ func (s *Solver) minimizeCore(groundIdx []int) (core []int, usesPositivity bool)
 	// once the implicit n > 0 typing is dropped.
 	_, _, relaxed := buildGraphOpt(s.asserts, groundIdx, active, false).bellmanFord()
 	usesPositivity = relaxed < 0
-	return core, usesPositivity
+	return core, usesPositivity, nil
 }
 
 // extractCycleCore collects the assertions on the negative cycle reachable
@@ -452,7 +471,7 @@ func quantifiedValid(a Assertion) (bool, error) {
 // it returns the first violated assertion, or nil. Quantified assertions are
 // re-decided analytically. Used by tests and by callers that want a
 // defense-in-depth check of solver output.
-func (s *Solver) Verify(model map[Var]int) *Assertion {
+func (s *Context) Verify(model map[Var]int) *Assertion {
 	eval := func(t Term) int {
 		if t.IsConst() {
 			return t.K

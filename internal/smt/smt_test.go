@@ -8,7 +8,7 @@ import (
 	"testing/quick"
 )
 
-func check(t *testing.T, s *Solver) Result {
+func check(t *testing.T, s *Context) Result {
 	t.Helper()
 	res, err := s.Check()
 	if err != nil {
@@ -19,7 +19,7 @@ func check(t *testing.T, s *Solver) Result {
 
 // TestSatSimple: a satisfiable chain produces a model that verifies.
 func TestSatSimple(t *testing.T) {
-	s := NewSolver()
+	s := NewContext()
 	s.Assert(Assertion{Rel: Lt, A: V("a"), B: V("b")})
 	s.Assert(Assertion{Rel: Le, A: V("b"), B: V("c")})
 	s.Assert(Assertion{Rel: Eq, A: V("c"), B: V("d")})
@@ -37,7 +37,7 @@ func TestSatSimple(t *testing.T) {
 
 // TestUnsatCycle: a < b < c < a yields a minimal three-element core.
 func TestUnsatCycle(t *testing.T) {
-	s := NewSolver()
+	s := NewContext()
 	s.Assert(Assertion{Rel: Lt, A: V("a"), B: V("b"), Origin: "1"})
 	s.Assert(Assertion{Rel: Lt, A: V("b"), B: V("c"), Origin: "2"})
 	s.Assert(Assertion{Rel: Lt, A: V("c"), B: V("a"), Origin: "3"})
@@ -58,7 +58,7 @@ func TestUnsatCycle(t *testing.T) {
 
 // TestSelfContradiction: x < x is a singleton core.
 func TestSelfContradiction(t *testing.T) {
-	s := NewSolver()
+	s := NewContext()
 	s.Assert(Assertion{Rel: Lt, A: V("x"), B: V("x"), Origin: "self"})
 	res := check(t, s)
 	if res.Sat || len(res.Core) != 1 {
@@ -68,7 +68,7 @@ func TestSelfContradiction(t *testing.T) {
 
 // TestEqualityChainUnsat: equalities propagate into contradictions.
 func TestEqualityChainUnsat(t *testing.T) {
-	s := NewSolver()
+	s := NewContext()
 	s.Assert(Assertion{Rel: Eq, A: V("a"), B: V("b")})
 	s.Assert(Assertion{Rel: Eq, A: V("b"), B: V("c")})
 	s.Assert(Assertion{Rel: Lt, A: V("c"), B: V("a")})
@@ -83,7 +83,7 @@ func TestEqualityChainUnsat(t *testing.T) {
 
 // TestConstants: terms with offsets and pure constants.
 func TestConstants(t *testing.T) {
-	s := NewSolver()
+	s := NewContext()
 	s.Assert(Assertion{Rel: Le, A: V("a").Plus(5), B: V("b")}) // a+5 ≤ b
 	res := check(t, s)
 	if !res.Sat {
@@ -93,7 +93,7 @@ func TestConstants(t *testing.T) {
 		t.Errorf("model must satisfy a+5 ≤ b: a=%d b=%d", res.Model["a"], res.Model["b"])
 	}
 
-	s2 := NewSolver()
+	s2 := NewContext()
 	s2.Assert(Assertion{Rel: Lt, A: C(5), B: C(3)})
 	res2 := check(t, s2)
 	if res2.Sat {
@@ -103,7 +103,7 @@ func TestConstants(t *testing.T) {
 
 // TestPositivity: the implicit n > 0 typing participates in contradictions.
 func TestPositivity(t *testing.T) {
-	s := NewSolver()
+	s := NewContext()
 	s.Assert(Assertion{Rel: Le, A: V("x"), B: C(0), Origin: "x<=0"})
 	res := check(t, s)
 	if res.Sat {
@@ -116,18 +116,18 @@ func TestPositivity(t *testing.T) {
 
 // TestQuantified: the closed-form monotonicity pattern.
 func TestQuantified(t *testing.T) {
-	s := NewSolver()
+	s := NewContext()
 	s.Assert(Assertion{Rel: Lt, A: V("s"), B: V("s").Plus(1), QuantVar: "s"})
 	if res := check(t, s); !res.Sat {
 		t.Fatalf("forall s. s < s+1 is valid")
 	}
-	s2 := NewSolver()
+	s2 := NewContext()
 	s2.Assert(Assertion{Rel: Lt, A: V("s"), B: V("s"), QuantVar: "s", Origin: "bad"})
 	res := check(t, s2)
 	if res.Sat || len(res.Core) != 1 || res.Core[0].Origin != "bad" {
 		t.Fatalf("forall s. s < s is invalid with itself as core, got %+v", res)
 	}
-	s3 := NewSolver()
+	s3 := NewContext()
 	s3.Assert(Assertion{Rel: Lt, A: V("s"), B: V("t"), QuantVar: "s"})
 	if _, err := s3.Check(); err == nil {
 		t.Fatalf("unsupported quantified pattern should error")
@@ -142,7 +142,7 @@ func TestCoreMinimality(t *testing.T) {
 	vars := []string{"a", "b", "c", "d", "e"}
 	rels := []Rel{Lt, Le, Eq}
 	for trial := 0; trial < 200; trial++ {
-		s := NewSolver()
+		s := NewContext()
 		n := 3 + rng.Intn(10)
 		for i := 0; i < n; i++ {
 			a := Assertion{
@@ -160,14 +160,14 @@ func TestCoreMinimality(t *testing.T) {
 			continue
 		}
 		// The core alone must be unsat.
-		coreSolver := NewSolver()
+		coreSolver := NewContext()
 		coreSolver.AssertAll(res.Core)
 		if check(t, coreSolver).Sat {
 			t.Fatalf("trial %d: core is not unsatisfiable: %s", trial, FormatCore(res.Core))
 		}
 		// Every proper subset must be sat.
 		for skip := range res.Core {
-			sub := NewSolver()
+			sub := NewContext()
 			for i, a := range res.Core {
 				if i != skip {
 					sub.Assert(a)
@@ -196,9 +196,9 @@ func TestCycleCoreAgreesOnVerdict(t *testing.T) {
 				B:   V(vars[rng.Intn(len(vars))]),
 			})
 		}
-		min := NewSolver()
+		min := NewContext()
 		min.AssertAll(asserts)
-		fast := NewSolver()
+		fast := NewContext()
 		fast.NoMinimize = true
 		fast.AssertAll(asserts)
 		r1, r2 := check(t, min), check(t, fast)
@@ -206,7 +206,7 @@ func TestCycleCoreAgreesOnVerdict(t *testing.T) {
 			t.Fatalf("trial %d: verdicts disagree: minimized %v, cycle %v", trial, r1.Sat, r2.Sat)
 		}
 		if !r2.Sat && len(r2.Core) > 0 {
-			cs := NewSolver()
+			cs := NewContext()
 			cs.AssertAll(r2.Core)
 			if check(t, cs).Sat {
 				t.Fatalf("trial %d: cycle core not unsat", trial)
@@ -220,7 +220,7 @@ func TestCycleCoreAgreesOnVerdict(t *testing.T) {
 func TestModelsArePositive(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		s := NewSolver()
+		s := NewContext()
 		vars := []string{"p", "q", "r"}
 		for i := 0; i < 4; i++ {
 			s.Assert(Assertion{
@@ -248,7 +248,7 @@ func TestModelsArePositive(t *testing.T) {
 // TestYicesRoundTrip: Emit → Parse preserves the verdict and the model's
 // satisfaction of the original constraints.
 func TestYicesRoundTrip(t *testing.T) {
-	s := NewSolver()
+	s := NewContext()
 	s.Assert(Assertion{Rel: Lt, A: V("C"), B: V("P"), Origin: "pref"})
 	s.Assert(Assertion{Rel: Eq, A: V("R"), B: V("P")})
 	s.Assert(Assertion{Rel: Le, A: V("C"), B: V("C")})
@@ -307,7 +307,7 @@ func TestYicesParsePaperListing(t *testing.T) {
 
 // TestVerifyRejectsBadModel ensures Verify is a real check.
 func TestVerifyRejectsBadModel(t *testing.T) {
-	s := NewSolver()
+	s := NewContext()
 	s.Assert(Assertion{Rel: Lt, A: V("a"), B: V("b")})
 	if bad := s.Verify(map[Var]int{"a": 2, "b": 1}); bad == nil {
 		t.Errorf("Verify should reject a=2,b=1 for a<b")
@@ -316,7 +316,7 @@ func TestVerifyRejectsBadModel(t *testing.T) {
 
 // TestStatsPopulated: solver effort is reported.
 func TestStatsPopulated(t *testing.T) {
-	s := NewSolver()
+	s := NewContext()
 	s.Assert(Assertion{Rel: Lt, A: V("a"), B: V("b")})
 	res := check(t, s)
 	if res.Stats.Assertions != 1 || res.Stats.Variables != 2 {

@@ -20,7 +20,7 @@ const sigTypeName = "Sig"
 // Emit renders the solver's logical context in Yices syntax, matching the
 // paper's §IV-C listings: a Sig type declaration, one define per variable,
 // and one assert per atom. Comment lines carry assertion provenance.
-func Emit(s *Solver) string {
+func Emit(s *Context) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "(define-type %s (subtype (n::nat) (> n 0)))\n", sigTypeName)
 
@@ -75,13 +75,13 @@ func emitTerm(t Term) string {
 // Parse reads Yices-syntax input (the subset Emit produces, which is also
 // the subset the paper's listings use) into a fresh Solver. Unsupported
 // constructs produce an error naming the offending form.
-func Parse(input string) (*Solver, error) {
+func Parse(input string) (*Context, error) {
 	toks, err := lex(input)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	s := NewSolver()
+	s := NewContext()
 	for !p.eof() {
 		form, err := p.sexp()
 		if err != nil {
@@ -176,7 +176,7 @@ func (p *parser) sexp() (sexp, error) {
 	}
 }
 
-func applyForm(s *Solver, form sexp) error {
+func applyForm(s *Context, form sexp) error {
 	if form.isAtom() || len(form.list) == 0 {
 		return fmt.Errorf("smt: expected a form, got %s", form)
 	}
@@ -199,7 +199,7 @@ func applyForm(s *Solver, form sexp) error {
 	}
 }
 
-func applyAssert(s *Solver, body sexp) error {
+func applyAssert(s *Context, body sexp) error {
 	if body.isAtom() || len(body.list) == 0 {
 		return fmt.Errorf("smt: unsupported assertion body %s", body)
 	}

@@ -1,0 +1,249 @@
+package fsr
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"fsr/internal/analysis"
+	"fsr/internal/engine"
+	"fsr/internal/ndlog"
+	"fsr/internal/simnet"
+	"fsr/internal/smt"
+	"fsr/internal/trace"
+)
+
+// Session owns one configured instance of the FSR pipeline: policy →
+// constraints → solver verdict → NDlog program → simulated or socket
+// deployment. A Session is immutable after NewSession and safe for
+// concurrent use; every long-running method takes a context and honours
+// cancellation.
+type Session struct {
+	solver      smt.Solver
+	runner      engine.Runner
+	seed        int64
+	batch       time.Duration
+	stagger     time.Duration
+	staggerSet  bool
+	horizon     time.Duration
+	idle        time.Duration
+	link        simnet.LinkConfig
+	linkSet     bool
+	parallelism int
+	collector   *trace.Collector
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithSolver selects the constraint-solving backend (default NativeSolver).
+func WithSolver(s SolverBackend) Option { return func(o *Session) { o.solver = s } }
+
+// WithRunner selects the protocol-execution backend (default
+// SimulationRunner).
+func WithRunner(r RunnerBackend) Option { return func(o *Session) { o.runner = r } }
+
+// WithSeed sets the seed driving all deterministic randomness — simulation
+// scheduling, batch jitter, start stagger (default 1). Runs with equal
+// seeds and options are reproducible byte for byte in simulation mode.
+func WithSeed(seed int64) Option { return func(o *Session) { o.seed = seed } }
+
+// WithBatchWindow sets the route-propagation batch interval (§VI-A uses
+// 1 s; default 0, meaning unbatched). Unless WithStartStagger is given,
+// node starts are staggered over half the batch window, matching how real
+// routers desynchronize.
+func WithBatchWindow(d time.Duration) Option { return func(o *Session) { o.batch = d } }
+
+// WithStartStagger sets the per-node start stagger explicitly, overriding
+// the batch-window-derived default.
+func WithStartStagger(d time.Duration) Option {
+	return func(o *Session) { o.stagger = d; o.staggerSet = true }
+}
+
+// WithHorizon bounds protocol executions: virtual time in simulation, wall
+// clock in deployment (default 5 s).
+func WithHorizon(d time.Duration) Option { return func(o *Session) { o.horizon = d } }
+
+// WithIdleWindow sets the deployment-mode quiescence window (default
+// 200 ms). Simulation runners detect quiescence exactly and ignore it.
+func WithIdleWindow(d time.Duration) Option { return func(o *Session) { o.idle = d } }
+
+// WithLink configures simulated links (default: the paper's 100 Mbps,
+// 10 ms link). A zero latency with bandwidth 0 is honoured as an ideal
+// link (no delay, infinite bandwidth). Deployment runners use the real
+// network stack and ignore it.
+func WithLink(latency time.Duration, bandwidthBps int64) Option {
+	return func(o *Session) {
+		o.link = simnet.LinkConfig{Latency: latency, Bandwidth: bandwidthBps}
+		o.linkSet = true
+	}
+}
+
+// WithTrace attaches a traffic collector; the same collector accumulates
+// across every Run on the session, and RunReport totals are read from it.
+// Nil (the default) gives each run a private collector.
+func WithTrace(c *TraceCollector) Option { return func(o *Session) { o.collector = c } }
+
+// WithParallelism caps the AnalyzeAll worker pool (default
+// runtime.GOMAXPROCS(0); values below 1 mean 1).
+func WithParallelism(n int) Option { return func(o *Session) { o.parallelism = n } }
+
+// NewSession returns a Session with the given options applied over the
+// defaults: native solver, simulation runner, seed 1, unbatched sends, 5 s
+// horizon, GOMAXPROCS parallelism.
+func NewSession(opts ...Option) *Session {
+	s := &Session{
+		solver:      smt.Native{},
+		runner:      engine.SimRunner{},
+		seed:        1,
+		horizon:     5 * time.Second,
+		parallelism: runtime.GOMAXPROCS(0),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.solver == nil {
+		s.solver = smt.Native{}
+	}
+	if s.runner == nil {
+		s.runner = engine.SimRunner{}
+	}
+	if s.parallelism < 1 {
+		s.parallelism = 1
+	}
+	return s
+}
+
+// SolverName reports the configured solver backend's name.
+func (s *Session) SolverName() string { return s.solver.Name() }
+
+// RunnerName reports the configured runner backend's name.
+func (s *Session) RunnerName() string { return s.runner.Name() }
+
+// Analyze decides safety for a policy configuration, applying the
+// lexical-product composition rule (§IV), on the session's solver backend.
+func (s *Session) Analyze(ctx context.Context, a Algebra) (SafetyReport, error) {
+	return analysis.AnalyzeSafetyWith(ctx, a, s.solver)
+}
+
+// AnalyzeAll analyzes a batch of policy configurations concurrently over a
+// worker pool of WithParallelism workers, preserving input order in the
+// results. The first error cancels the remaining work and is returned.
+func (s *Session) AnalyzeAll(ctx context.Context, algebras ...Algebra) ([]SafetyReport, error) {
+	reports := make([]SafetyReport, len(algebras))
+	if len(algebras) == 0 {
+		return reports, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers := s.parallelism
+	if workers > len(algebras) {
+		workers = len(algebras)
+	}
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rep, err := analysis.AnalyzeSafetyWith(ctx, algebras[i], s.solver)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err; cancel() })
+					return
+				}
+				reports[i] = rep
+			}
+		}()
+	}
+feed:
+	for i := range algebras {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return reports, nil
+}
+
+// CheckStrictMonotonicity runs the single strict-monotonicity check on the
+// session's solver backend, returning the solver-level result with model or
+// minimal core.
+func (s *Session) CheckStrictMonotonicity(ctx context.Context, a Algebra) (AnalysisResult, error) {
+	return analysis.CheckWith(ctx, a, analysis.StrictMonotonicity, s.solver)
+}
+
+// CheckMonotonicity runs the plain monotonicity check on the session's
+// solver backend.
+func (s *Session) CheckMonotonicity(ctx context.Context, a Algebra) (AnalysisResult, error) {
+	return analysis.CheckWith(ctx, a, analysis.Monotonicity, s.solver)
+}
+
+// AnalyzeSPP converts and checks an SPP instance in one step, returning the
+// analysis result and the suspect nodes implicated by the core (empty when
+// sat).
+func (s *Session) AnalyzeSPP(ctx context.Context, in *SPPInstance) (AnalysisResult, []SPPNode, error) {
+	conv, err := in.ToAlgebra()
+	if err != nil {
+		return AnalysisResult{}, nil, err
+	}
+	res, err := analysis.CheckWith(ctx, conv.Algebra, analysis.StrictMonotonicity, s.solver)
+	if err != nil {
+		return AnalysisResult{}, nil, err
+	}
+	return res, conv.SuspectNodes(res.Core), nil
+}
+
+// Compile translates a policy configuration to its NDlog implementation:
+// the GPV program plus the generated policy functions (§V, Table II).
+func (s *Session) Compile(a Algebra) (*NDlogProgram, error) { return ndlog.Generate(a) }
+
+// SolverEncoding renders the §IV-C style solver input for a policy — the
+// exact text the YicesTextSolver backend round-trips.
+func (s *Session) SolverEncoding(a Algebra) (string, error) {
+	return analysis.Yices(a, analysis.StrictMonotonicity)
+}
+
+// Run executes an SPP instance on the session's runner backend: the
+// instance is converted to its algebra, the GPV implementation is built,
+// and the protocol runs to quiescence or the horizon.
+func (s *Session) Run(ctx context.Context, in *SPPInstance) (*RunReport, error) {
+	conv, err := in.ToAlgebra()
+	if err != nil {
+		return nil, err
+	}
+	return s.RunConversion(ctx, conv)
+}
+
+// RunConversion is Run for an already converted instance, letting callers
+// reuse one conversion across analysis and execution.
+func (s *Session) RunConversion(ctx context.Context, conv *SPPConversion) (*RunReport, error) {
+	stagger := s.stagger
+	if !s.staggerSet {
+		stagger = s.batch / 2
+	}
+	return s.runner.Run(ctx, conv, engine.RunOptions{
+		Seed:          s.seed,
+		Link:          s.link,
+		LinkExplicit:  s.linkSet,
+		BatchInterval: s.batch,
+		StartStagger:  stagger,
+		Horizon:       s.horizon,
+		IdleWindow:    s.idle,
+		Collector:     s.collector,
+	})
+}

@@ -1,0 +1,369 @@
+package fsr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestSessionDefaults: the zero-configuration session uses the native
+// solver and the simulation runner.
+func TestSessionDefaults(t *testing.T) {
+	sess := NewSession()
+	if sess.SolverName() != "native" {
+		t.Errorf("default solver = %s, want native", sess.SolverName())
+	}
+	if sess.RunnerName() != "sim" {
+		t.Errorf("default runner = %s, want sim", sess.RunnerName())
+	}
+}
+
+// TestSessionOptions: every option lands on the session.
+func TestSessionOptions(t *testing.T) {
+	sess := NewSession(
+		WithSolver(YicesTextSolver()),
+		WithRunner(DeploymentRunner()),
+		WithSeed(7),
+		WithBatchWindow(30*time.Millisecond),
+		WithParallelism(-3),
+	)
+	if sess.SolverName() != "yices-text" {
+		t.Errorf("solver = %s, want yices-text", sess.SolverName())
+	}
+	if sess.RunnerName() != "tcp" {
+		t.Errorf("runner = %s, want tcp", sess.RunnerName())
+	}
+	if sess.parallelism != 1 {
+		t.Errorf("parallelism floor: got %d, want 1", sess.parallelism)
+	}
+	if sess.seed != 7 || sess.batch != 30*time.Millisecond {
+		t.Errorf("seed/batch not applied: %d %v", sess.seed, sess.batch)
+	}
+}
+
+// TestSolverBackendSelection: name-based lookup round-trips every backend.
+func TestSolverBackendSelection(t *testing.T) {
+	for _, backend := range SolverBackends() {
+		got, err := SolverBackendByName(backend.Name())
+		if err != nil {
+			t.Fatalf("SolverBackendByName(%s): %v", backend.Name(), err)
+		}
+		if got.Name() != backend.Name() {
+			t.Errorf("lookup %s returned %s", backend.Name(), got.Name())
+		}
+	}
+	if _, err := SolverBackendByName("z3"); err == nil {
+		t.Error("unknown solver name should error")
+	}
+	if _, err := RunnerBackendByName("kubernetes"); err == nil {
+		t.Error("unknown runner name should error")
+	}
+}
+
+// TestSessionSolverBackends: both solver backends decide the paper's
+// headline queries identically — unsat with the c ⊕ C = C core for bare
+// Gao-Rexford, safe for the composition.
+func TestSessionSolverBackends(t *testing.T) {
+	ctx := context.Background()
+	for _, backend := range SolverBackends() {
+		t.Run(backend.Name(), func(t *testing.T) {
+			sess := NewSession(WithSolver(backend))
+			res, err := sess.CheckStrictMonotonicity(ctx, GaoRexfordA())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Sat {
+				t.Fatalf("bare guideline should be unsat on %s", backend.Name())
+			}
+			if len(res.Core) != 1 || res.Core[0].Entry.String() != "c ⊕ C = C" {
+				t.Errorf("core should pinpoint c ⊕ C = C, got %v", res.Core)
+			}
+			rep, err := sess.Analyze(ctx, GaoRexfordSafe())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Verdict != Safe {
+				t.Errorf("composition should be safe on %s: %s", backend.Name(), rep)
+			}
+		})
+	}
+}
+
+// TestSessionSolverBackendsSPP: unsat-core provenance survives the
+// yices-text round trip — the Figure 3 suspects are identical across
+// backends.
+func TestSessionSolverBackendsSPP(t *testing.T) {
+	ctx := context.Background()
+	var want []SPPNode
+	for i, backend := range SolverBackends() {
+		res, suspects, err := NewSession(WithSolver(backend)).AnalyzeSPP(ctx, Figure3IBGP())
+		if err != nil {
+			t.Fatalf("%s: %v", backend.Name(), err)
+		}
+		if res.Sat {
+			t.Fatalf("%s: Figure 3 gadget should be unsat", backend.Name())
+		}
+		if i == 0 {
+			want = suspects
+			if len(want) == 0 {
+				t.Fatal("suspects should name the reflectors")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(suspects, want) {
+			t.Errorf("%s suspects %v differ from %v", backend.Name(), suspects, want)
+		}
+	}
+}
+
+// TestSessionRunnerBackends: every runner backend converges the fixed
+// Figure 3 instance to the same routes — the compiled protocol, the NDlog
+// interpreter, and the TCP deployment are equivalent implementations of
+// GPV.
+func TestSessionRunnerBackends(t *testing.T) {
+	ctx := context.Background()
+	wantPaths := map[string][]string{
+		"a": {"a", "d", "r1"},
+		"b": {"b", "e", "r2"},
+		"c": {"c", "f", "r3"},
+	}
+	for _, backend := range RunnerBackends() {
+		t.Run(backend.Name(), func(t *testing.T) {
+			sess := NewSession(
+				WithRunner(backend),
+				WithBatchWindow(10*time.Millisecond),
+				WithHorizon(20*time.Second),
+			)
+			rep, err := sess.Run(ctx, Figure3IBGPFixed())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Converged {
+				t.Fatalf("%s run did not converge", backend.Name())
+			}
+			if rep.Runner != backend.Name() {
+				t.Errorf("report names runner %s, want %s", rep.Runner, backend.Name())
+			}
+			for node, want := range wantPaths {
+				got, ok := rep.Best[node]
+				if !ok {
+					t.Fatalf("%s: node %s has no route", backend.Name(), node)
+				}
+				if !reflect.DeepEqual(got.Path, want) {
+					t.Errorf("%s: node %s path %v, want %v", backend.Name(), node, got.Path, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSessionAnalyzeAll: the batch facade preserves input order and
+// verdicts under a concurrent worker pool (run with -race).
+func TestSessionAnalyzeAll(t *testing.T) {
+	ctx := context.Background()
+	var algebras []Algebra
+	var wantSafe []bool
+	for i := 0; i < 4; i++ {
+		algebras = append(algebras, GaoRexfordA(), GaoRexfordSafe(), Compose(GaoRexfordB(), HopCount()))
+		wantSafe = append(wantSafe, false, true, true)
+	}
+	sess := NewSession(WithParallelism(4))
+	reports, err := sess.AnalyzeAll(ctx, algebras...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(algebras) {
+		t.Fatalf("got %d reports for %d algebras", len(reports), len(algebras))
+	}
+	for i, rep := range reports {
+		if (rep.Verdict == Safe) != wantSafe[i] {
+			t.Errorf("report %d: verdict %v, want safe=%v (%s)", i, rep.Verdict, wantSafe[i], rep.Reason)
+		}
+	}
+}
+
+// TestSessionAnalyzeAllEmpty: the degenerate batch is fine.
+func TestSessionAnalyzeAllEmpty(t *testing.T) {
+	reports, err := NewSession().AnalyzeAll(context.Background())
+	if err != nil || len(reports) != 0 {
+		t.Fatalf("empty batch: %v %v", reports, err)
+	}
+}
+
+// TestSessionCancelMidSolve: a cancelled context aborts the solver, on both
+// backends, before and during core minimization.
+func TestSessionCancelMidSolve(t *testing.T) {
+	for _, backend := range SolverBackends() {
+		t.Run(backend.Name(), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			sess := NewSession(WithSolver(backend))
+			if _, err := sess.CheckStrictMonotonicity(ctx, GaoRexfordA()); !errors.Is(err, context.Canceled) {
+				t.Errorf("cancelled solve returned %v, want context.Canceled", err)
+			}
+			if _, err := sess.Analyze(ctx, GaoRexfordSafe()); !errors.Is(err, context.Canceled) {
+				t.Errorf("cancelled analyze returned %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestSessionCancelAnalyzeAll: cancellation propagates through the worker
+// pool.
+func TestSessionCancelAnalyzeAll(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess := NewSession(WithParallelism(2))
+	_, err := sess.AnalyzeAll(ctx, GaoRexfordA(), GaoRexfordSafe())
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled AnalyzeAll returned %v, want context.Canceled", err)
+	}
+}
+
+// TestSessionCancelMidSimulation: BADGADGET never quiesces, so a
+// wall-clock deadline fires mid-simulation and aborts the run.
+func TestSessionCancelMidSimulation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	sess := NewSession(
+		WithBatchWindow(time.Millisecond),
+		WithHorizon(3*time.Hour), // virtual; unreachable within the deadline
+	)
+	_, err := sess.Run(ctx, mustGadget(t, "badgadget"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline-bounded oscillating run returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSessionCancelMidDeployment: cancellation also lands in the TCP
+// deployment runner's quiescence loop.
+func TestSessionCancelMidDeployment(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	sess := NewSession(
+		WithRunner(DeploymentRunner()),
+		WithBatchWindow(20*time.Millisecond),
+		WithIdleWindow(time.Hour), // quiescence unreachable within the deadline
+		WithHorizon(time.Hour),
+	)
+	_, err := sess.Run(ctx, mustGadget(t, "goodgadget"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline-bounded deployment returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSessionSeedDeterminism: equal seeds reproduce a simulation run
+// byte for byte; different seeds are allowed to differ.
+func TestSessionSeedDeterminism(t *testing.T) {
+	ctx := context.Background()
+	run := func(seed int64) *RunReport {
+		sess := NewSession(WithSeed(seed), WithBatchWindow(15*time.Millisecond), WithHorizon(20*time.Second))
+		rep, err := sess.Run(ctx, Figure3IBGPFixed())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(3), run(3)
+	if a.Time != b.Time || a.Messages != b.Messages || a.Bytes != b.Bytes {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestSessionTraceCollector: WithTrace accumulates across runs on the
+// shared collector.
+func TestSessionTraceCollector(t *testing.T) {
+	col := NewTraceCollector(10 * time.Millisecond)
+	sess := NewSession(WithTrace(col), WithHorizon(20*time.Second))
+	if _, err := sess.Run(context.Background(), Figure3IBGPFixed()); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := col.Totals()
+	if first == 0 {
+		t.Fatal("collector saw no traffic")
+	}
+	if _, err := sess.Run(context.Background(), Figure3IBGPFixed()); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := col.Totals()
+	if second <= first {
+		t.Errorf("collector should accumulate across runs: %d then %d", first, second)
+	}
+}
+
+func mustGadget(t *testing.T, name string) *SPPInstance {
+	t.Helper()
+	inst, err := Gadget(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestBuiltinLookups: name resolution covers the documented sets.
+func TestBuiltinLookups(t *testing.T) {
+	for _, name := range BuiltinAlgebraNames() {
+		if _, err := BuiltinAlgebra(name); err != nil {
+			t.Errorf("BuiltinAlgebra(%s): %v", name, err)
+		}
+	}
+	for _, name := range GadgetNames() {
+		if _, err := Gadget(name); err != nil {
+			t.Errorf("Gadget(%s): %v", name, err)
+		}
+	}
+	if _, err := BuiltinAlgebra("nope"); err == nil {
+		t.Error("unknown builtin should error")
+	}
+	if _, err := Gadget("nope"); err == nil {
+		t.Error("unknown gadget should error")
+	}
+}
+
+// TestDeprecatedWrappers: the pre-Session free functions still work via the
+// default session, so existing callers keep compiling and running.
+func TestDeprecatedWrappers(t *testing.T) {
+	rep, err := AnalyzeSafety(GaoRexfordSafe())
+	if err != nil || rep.Verdict != Safe {
+		t.Fatalf("AnalyzeSafety wrapper: %v %v", rep.Verdict, err)
+	}
+	if _, err := CompileNDlog(GaoRexfordA()); err != nil {
+		t.Fatalf("CompileNDlog wrapper: %v", err)
+	}
+	if _, err := YicesEncoding(GaoRexfordA()); err != nil {
+		t.Fatalf("YicesEncoding wrapper: %v", err)
+	}
+	res, suspects, err := AnalyzeSPP(Figure3IBGP())
+	if err != nil || res.Sat || len(suspects) == 0 {
+		t.Fatalf("AnalyzeSPP wrapper: sat=%v suspects=%v err=%v", res.Sat, suspects, err)
+	}
+}
+
+// TestSessionConcurrentUse: one session drives analyses and runs from many
+// goroutines at once (run with -race).
+func TestSessionConcurrentUse(t *testing.T) {
+	sess := NewSession(WithBatchWindow(10*time.Millisecond), WithHorizon(20*time.Second))
+	ctx := context.Background()
+	errs := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := sess.Analyze(ctx, GaoRexfordSafe())
+			errs <- err
+		}()
+		go func() {
+			rep, err := sess.Run(ctx, Figure3IBGPFixed())
+			if err == nil && !rep.Converged {
+				err = fmt.Errorf("run did not converge")
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
