@@ -1,0 +1,143 @@
+package fsr
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"fsr/internal/algebra"
+	"fsr/internal/analysis"
+	"fsr/internal/smt"
+	"fsr/internal/spp"
+)
+
+// differentialAlgebras is every gadget and library algebra the toolkit
+// ships: the §VI-C eBGP gadgets, both §IV-C iBGP instances, a scaling
+// chain, the Gao-Rexford guidelines, backup routing, hop count, and the
+// lexical products the composition rule exercises.
+func differentialAlgebras(t *testing.T) map[string]algebra.Algebra {
+	t.Helper()
+	out := map[string]algebra.Algebra{
+		"gao-rexford-a":    algebra.GaoRexfordA(),
+		"gao-rexford-b":    algebra.GaoRexfordB(),
+		"backup-routing":   algebra.BackupRouting(2),
+		"hop-count":        algebra.HopCount{},
+		"gr-with-hopcount": algebra.GaoRexfordWithHopCount(),
+		"gr-b-x-hopcount":  algebra.NewProduct(algebra.GaoRexfordB(), algebra.HopCount{}),
+	}
+	for name, mk := range map[string]func() *spp.Instance{
+		"good-gadget":      spp.GoodGadget,
+		"bad-gadget":       spp.BadGadget,
+		"disagree":         spp.Disagree,
+		"figure3-ibgp":     spp.Figure3IBGP,
+		"figure3-fixed":    spp.Figure3IBGPFixed,
+		"chain-gadget-40":  func() *spp.Instance { return spp.ChainGadget(40) },
+		"chain-gadget-120": func() *spp.Instance { return spp.ChainGadget(120) },
+	} {
+		conv, err := mk().ToAlgebra()
+		if err != nil {
+			t.Fatalf("%s: ToAlgebra: %v", name, err)
+		}
+		out[name] = conv.Algebra
+	}
+	return out
+}
+
+// TestDifferentialGadgetAlgebras holds the incremental native solver to the
+// retained reference implementation on every shipped gadget and library
+// algebra, for both checked conditions: identical verdicts, identical
+// models (and models that actually satisfy the generated constraints), and
+// identical minimal cores constraint for constraint.
+func TestDifferentialGadgetAlgebras(t *testing.T) {
+	ctx := context.Background()
+	for name, alg := range differentialAlgebras(t) {
+		if _, isProduct := alg.(algebra.Product); isProduct {
+			continue // products decompose via AnalyzeSafety; covered below
+		}
+		for _, cond := range []analysis.Condition{analysis.StrictMonotonicity, analysis.Monotonicity} {
+			got, err := analysis.CheckWith(ctx, alg, cond, smt.Native{})
+			if err != nil {
+				t.Fatalf("%s/%s: native: %v", name, cond, err)
+			}
+			want, err := analysis.CheckWith(ctx, alg, cond, smt.Reference{})
+			if err != nil {
+				t.Fatalf("%s/%s: reference: %v", name, cond, err)
+			}
+			if got.Sat != want.Sat {
+				t.Fatalf("%s/%s: verdicts disagree: native sat=%v, reference sat=%v", name, cond, got.Sat, want.Sat)
+			}
+			if got.NumPreference != want.NumPreference || got.NumMonotonicity != want.NumMonotonicity {
+				t.Fatalf("%s/%s: constraint counts disagree: (%d,%d) vs (%d,%d)", name, cond,
+					got.NumPreference, got.NumMonotonicity, want.NumPreference, want.NumMonotonicity)
+			}
+			if got.Sat {
+				if !reflect.DeepEqual(got.Model, want.Model) {
+					t.Fatalf("%s/%s: models disagree:\nnative    %v\nreference %v", name, cond, got.Model, want.Model)
+				}
+				verifyModel(t, name, alg, cond, got.Model)
+				continue
+			}
+			if len(got.Core) != len(want.Core) {
+				t.Fatalf("%s/%s: core sizes disagree: %d vs %d", name, cond, len(got.Core), len(want.Core))
+			}
+			for i := range got.Core {
+				if got.Core[i].String() != want.Core[i].String() {
+					t.Fatalf("%s/%s: core element %d disagrees:\nnative    %s\nreference %s",
+						name, cond, i, got.Core[i], want.Core[i])
+				}
+			}
+		}
+	}
+}
+
+// verifyModel re-checks a solver model against the freshly generated
+// constraint set through smt.Context.Verify — defense in depth on top of
+// the model-equality check.
+func verifyModel(t *testing.T, name string, alg algebra.Algebra, cond analysis.Condition, model map[string]int) {
+	t.Helper()
+	cons, err := analysis.Constraints(alg, cond)
+	if err != nil {
+		t.Fatalf("%s/%s: constraints: %v", name, cond, err)
+	}
+	s := smt.NewContext()
+	for _, c := range cons {
+		s.Assert(c.Assertion)
+	}
+	m := make(map[smt.Var]int, len(model))
+	for k, v := range model {
+		m[smt.Var(k)] = v
+	}
+	if bad := s.Verify(m); bad != nil {
+		t.Fatalf("%s/%s: native model violates %s", name, cond, bad)
+	}
+}
+
+// TestDifferentialSafetyReports runs the full composition-rule analysis
+// (AnalyzeSafety, the paper's §IV-B flow) on both backends and requires
+// identical verdicts, reasons, and step-by-step results.
+func TestDifferentialSafetyReports(t *testing.T) {
+	ctx := context.Background()
+	for name, alg := range differentialAlgebras(t) {
+		got, err := analysis.AnalyzeSafetyWith(ctx, alg, smt.Native{})
+		if err != nil {
+			t.Fatalf("%s: native: %v", name, err)
+		}
+		want, err := analysis.AnalyzeSafetyWith(ctx, alg, smt.Reference{})
+		if err != nil {
+			t.Fatalf("%s: reference: %v", name, err)
+		}
+		if got.Verdict != want.Verdict || got.Reason != want.Reason {
+			t.Fatalf("%s: reports disagree:\nnative    %s — %s\nreference %s — %s",
+				name, got.Verdict, got.Reason, want.Verdict, want.Reason)
+		}
+		if len(got.Steps) != len(want.Steps) {
+			t.Fatalf("%s: step counts disagree: %d vs %d", name, len(got.Steps), len(want.Steps))
+		}
+		for i := range got.Steps {
+			if got.Steps[i].String() != want.Steps[i].String() {
+				t.Fatalf("%s: step %d disagrees:\nnative    %s\nreference %s",
+					name, i, got.Steps[i], want.Steps[i])
+			}
+		}
+	}
+}

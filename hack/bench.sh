@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the benchstat-friendly Stage series plus the headline analysis and
+# solver-scaling benches, and writes BENCH_<tag>.json mapping each benchmark
+# to its mean ns/op and allocs/op — the perf trajectory future PRs are held
+# to. Usage: hack/bench.sh [tag] [count]
+#
+# For a statistically sound before/after comparison, prefer
+#   go test -run '^$' -bench Stage -benchmem -count 10 . > new.txt
+#   benchstat old.txt new.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tag="${1:-pr3}"
+count="${2:-5}"
+out="BENCH_${tag}.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'Stage|Figure3Analysis|SolverScaling' \
+    -benchmem -count "$count" . | tee "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; names[++n] = name }
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     { ns[name] += $(i-1); nns[name]++ }
+        if ($i == "allocs/op") { al[name] += $(i-1); nal[name]++ }
+    }
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        mean_ns = nns[name] ? ns[name] / nns[name] : 0
+        mean_al = nal[name] ? al[name] / nal[name] : 0
+        printf "  \"%s\": {\"ns_per_op\": %.1f, \"allocs_per_op\": %.1f}%s\n", \
+            name, mean_ns, mean_al, (i < n ? "," : "")
+    }
+    printf "}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"

@@ -297,11 +297,15 @@ func (e ConcatEntry) String() string {
 }
 
 // ConcatTable enumerates the non-φ entries of the combined concatenation
-// operator of a finite algebra, in a stable order.
+// operator of a finite algebra, in a stable order. The signature universe
+// is fetched once, not per label: Sigs implementations return defensive
+// copies, and re-copying inside the label loop dominated table generation
+// on large instances.
 func ConcatTable(a Algebra) []ConcatEntry {
-	var out []ConcatEntry
-	for _, l := range a.Labels() {
-		for _, s := range a.Sigs() {
+	labels, sigs := a.Labels(), a.Sigs()
+	out := make([]ConcatEntry, 0, len(labels)*len(sigs)/2)
+	for _, l := range labels {
+		for _, s := range sigs {
 			r := Combined(a, l, s)
 			if IsProhibited(r) {
 				continue

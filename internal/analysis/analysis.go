@@ -23,6 +23,7 @@ package analysis
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"fsr/internal/algebra"
@@ -173,11 +174,7 @@ func sortedModel(m map[string]int) []kv {
 	for k, v := range m {
 		out = append(out, kv{k, v})
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].k < out[j-1].k; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
 	return out
 }
 
@@ -189,7 +186,10 @@ type sigVars struct {
 }
 
 func newSigVars(sigs []algebra.Sig) (*sigVars, error) {
-	sv := &sigVars{vars: map[algebra.Sig]smt.Var{}, names: map[smt.Var]algebra.Sig{}}
+	sv := &sigVars{
+		vars:  make(map[algebra.Sig]smt.Var, len(sigs)),
+		names: make(map[smt.Var]algebra.Sig, len(sigs)),
+	}
 	for _, s := range sigs {
 		base := sanitize(s.String())
 		name := smt.Var(base)
@@ -211,63 +211,133 @@ func newSigVars(sigs []algebra.Sig) (*sigVars, error) {
 func (sv *sigVars) term(s algebra.Sig) smt.Term { return smt.Term{Var: sv.vars[s]} }
 
 func sanitize(s string) string {
-	var b strings.Builder
+	clean := func(r rune) bool {
+		return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_'
+	}
+	dirty := false
 	for _, r := range s {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
-			b.WriteRune(r)
-		default:
-			b.WriteByte('_')
+		if !clean(r) {
+			dirty = true
+			break
 		}
 	}
-	if b.Len() == 0 {
-		return "sig"
+	if !dirty {
+		if s == "" {
+			return "sig"
+		}
+		return s // already identifier-safe: no rebuild, no allocation
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if clean(r) {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
 	}
 	return b.String()
 }
 
-// Constraints generates the solver constraints for the given algebra and
-// condition, following §IV-B's three steps. Finite algebras enumerate their
-// ⊕ table; infinite algebras must implement algebra.ClosedForm and yield
-// quantified constraints.
-func Constraints(a algebra.Algebra, cond Condition) ([]Constraint, error) {
-	rel := smt.Lt
-	if cond == Monotonicity {
-		rel = smt.Le
-	}
+// constraintGen holds the condition-independent part of constraint
+// generation for one algebra: the signature-variable interning, the
+// enumerated preference and ⊕ tables (or closed-form deltas), and the
+// provenance strings. Generating for a concrete Condition is then a cheap
+// stamp-out, so callers that check both strict and plain monotonicity on
+// the same algebra (analyzeProduct's double-check) enumerate the algebra
+// once instead of twice.
+type constraintGen struct {
+	name string
+
+	// Finite algebras.
+	sv          *sigVars
+	prefs       []algebra.PrefPair
+	table       []algebra.ConcatEntry
+	prefOrigins []string
+	monoOrigins []string
+
+	// Closed-form (infinite) algebras.
+	closed       bool
+	labels       []algebra.Label
+	deltas       []int
+	quantOrigins []string
+}
+
+// newConstraintGen enumerates the algebra once, following §IV-B's step 1
+// (signature interning) and the table walks of steps 2–3.
+func newConstraintGen(a algebra.Algebra) (*constraintGen, error) {
+	g := &constraintGen{name: a.Name()}
 	sigs := a.Sigs()
 	if sigs == nil {
 		cf, ok := a.(algebra.ClosedForm)
 		if !ok {
 			return nil, fmt.Errorf("analysis: algebra %s has an infinite signature universe and no closed form; cannot generate constraints", a.Name())
 		}
-		var out []Constraint
-		for _, l := range a.Labels() {
+		g.closed = true
+		g.labels = a.Labels()
+		g.deltas = make([]int, len(g.labels))
+		g.quantOrigins = make([]string, len(g.labels))
+		for i, l := range g.labels {
 			d, ok := cf.ConcatDelta(l)
 			if !ok {
 				return nil, fmt.Errorf("analysis: algebra %s: label %s has no linear concatenation", a.Name(), l)
 			}
-			as := smt.Assertion{
-				Rel:      rel,
-				A:        smt.V("s"),
-				B:        smt.V("s").Plus(d),
-				QuantVar: "s",
-				Origin:   fmt.Sprintf("mono: %s ⊕ s = s+%d", l, d),
-			}
-			out = append(out, Constraint{Assertion: as, Kind: KindQuantified, Label: l})
+			g.deltas[i] = d
+			g.quantOrigins[i] = fmt.Sprintf("mono: %s ⊕ s = s+%d", l, d)
 		}
-		return out, nil
+		return g, nil
 	}
-
 	sv, err := newSigVars(sigs)
 	if err != nil {
 		return nil, err
 	}
-	var out []Constraint
+	g.sv = sv
+	g.prefs = algebra.Preferences(a)
+	g.table = algebra.ConcatTable(a)
+	g.prefOrigins = make([]string, len(g.prefs))
+	for i := range g.prefs {
+		g.prefOrigins[i] = "pref: " + g.prefs[i].String()
+	}
+	g.monoOrigins = make([]string, len(g.table))
+	for i := range g.table {
+		g.monoOrigins[i] = "mono: " + g.table[i].String()
+	}
+	return g, nil
+}
 
+// len returns the number of constraints the generator stamps out.
+func (g *constraintGen) len() int {
+	if g.closed {
+		return len(g.labels)
+	}
+	return len(g.prefs) + len(g.table)
+}
+
+// constraints stamps out the constraint list for the condition. Only the
+// monotonicity relation (s < s′ vs s ≤ s′) depends on it; provenance is
+// shared.
+func (g *constraintGen) constraints(cond Condition) []Constraint {
+	rel := smt.Lt
+	if cond == Monotonicity {
+		rel = smt.Le
+	}
+	out := make([]Constraint, 0, g.len())
+	if g.closed {
+		for i, l := range g.labels {
+			as := smt.Assertion{
+				Rel:      rel,
+				A:        smt.V("s"),
+				B:        smt.V("s").Plus(g.deltas[i]),
+				QuantVar: "s",
+				Origin:   g.quantOrigins[i],
+			}
+			out = append(out, Constraint{Assertion: as, Kind: KindQuantified, Label: l})
+		}
+		return out
+	}
 	// Step 2: preference constraints. The paper's §IV-C encodings translate
 	// strict preferences to <, equalities to =, and plain ⪯ to ≤.
-	for _, p := range algebra.Preferences(a) {
+	for i, p := range g.prefs {
 		r := smt.Le
 		switch {
 		case p.Equal:
@@ -277,25 +347,36 @@ func Constraints(a algebra.Algebra, cond Condition) ([]Constraint, error) {
 		}
 		as := smt.Assertion{
 			Rel:    r,
-			A:      sv.term(p.A),
-			B:      sv.term(p.B),
-			Origin: "pref: " + p.String(),
+			A:      g.sv.term(p.A),
+			B:      g.sv.term(p.B),
+			Origin: g.prefOrigins[i],
 		}
 		out = append(out, Constraint{Assertion: as, Kind: KindPreference, Pref: p})
 	}
-
 	// Step 3: monotonicity constraints from the combined ⊕ table; φ results
 	// impose none (any signature is strictly preferred to φ by definition).
-	for _, e := range algebra.ConcatTable(a) {
+	for i, e := range g.table {
 		as := smt.Assertion{
 			Rel:    rel,
-			A:      sv.term(e.In),
-			B:      sv.term(e.Out),
-			Origin: "mono: " + e.String(),
+			A:      g.sv.term(e.In),
+			B:      g.sv.term(e.Out),
+			Origin: g.monoOrigins[i],
 		}
 		out = append(out, Constraint{Assertion: as, Kind: KindMonotonicity, Entry: e})
 	}
-	return out, nil
+	return out
+}
+
+// Constraints generates the solver constraints for the given algebra and
+// condition, following §IV-B's three steps. Finite algebras enumerate their
+// ⊕ table; infinite algebras must implement algebra.ClosedForm and yield
+// quantified constraints.
+func Constraints(a algebra.Algebra, cond Condition) ([]Constraint, error) {
+	g, err := newConstraintGen(a)
+	if err != nil {
+		return nil, err
+	}
+	return g.constraints(cond), nil
 }
 
 // Check decides the given condition for the algebra with the native solver
@@ -310,23 +391,29 @@ func Check(a algebra.Algebra, cond Condition) (Result, error) {
 // choice (native difference logic or the Yices text-encoding path), and a
 // cancelled context aborts the solve with ctx.Err().
 func CheckWith(ctx context.Context, a algebra.Algebra, cond Condition, solver smt.Solver) (Result, error) {
-	if solver == nil {
-		solver = smt.Native{}
-	}
-	cons, err := Constraints(a, cond)
+	g, err := newConstraintGen(a)
 	if err != nil {
 		return Result{}, err
 	}
+	return checkGen(ctx, g, cond, solver)
+}
+
+// checkGen runs one condition check over a prepared generator, mapping the
+// solver outcome back to policy terms. Cores come back positionally via
+// Result.CoreIdx; the Origin-keyed map is only built as a fallback for
+// third-party Solver implementations that don't fill it.
+func checkGen(ctx context.Context, g *constraintGen, cond Condition, solver smt.Solver) (Result, error) {
+	if solver == nil {
+		solver = smt.Native{}
+	}
+	cons := g.constraints(cond)
 	asserts := make([]smt.Assertion, len(cons))
-	byOrigin := map[string]Constraint{}
-	res := Result{Algebra: a.Name(), Condition: cond}
-	for i, c := range cons {
-		asserts[i] = c.Assertion
-		byOrigin[c.Assertion.Origin] = c
-		switch c.Kind {
-		case KindPreference:
+	res := Result{Algebra: g.name, Condition: cond}
+	for i := range cons {
+		asserts[i] = cons[i].Assertion
+		if cons[i].Kind == KindPreference {
 			res.NumPreference++
-		default:
+		} else {
 			res.NumMonotonicity++
 		}
 	}
@@ -337,11 +424,24 @@ func CheckWith(ctx context.Context, a algebra.Algebra, cond Condition, solver sm
 	res.Sat = out.Sat
 	res.Stats = out.Stats
 	if out.Sat {
-		res.Model = map[string]int{}
+		res.Model = make(map[string]int, len(out.Model))
 		for v, val := range out.Model {
 			res.Model[string(v)] = val
 		}
 		return res, nil
+	}
+	if len(out.CoreIdx) == len(out.Core) {
+		res.Core = make([]Constraint, 0, len(out.CoreIdx))
+		for _, i := range out.CoreIdx {
+			if i >= 0 && i < len(cons) {
+				res.Core = append(res.Core, cons[i])
+			}
+		}
+		return res, nil
+	}
+	byOrigin := make(map[string]Constraint, len(cons))
+	for _, c := range cons {
+		byOrigin[c.Assertion.Origin] = c
 	}
 	for _, a := range out.Core {
 		if c, ok := byOrigin[a.Origin]; ok {
@@ -435,17 +535,41 @@ func AnalyzeSafetyWith(ctx context.Context, a algebra.Algebra, solver smt.Solver
 }
 
 func analyzeProduct(ctx context.Context, p algebra.Product, solver smt.Solver) (Report, error) {
-	first, err := AnalyzeSafetyWith(ctx, p.First, solver)
-	if err != nil {
-		return Report{}, err
+	// The first factor is checked for strict monotonicity and, on failure,
+	// plain monotonicity. When it is a leaf algebra, both checks share one
+	// constraint generation (the enumeration of the ⊕ table dominates the
+	// analysis cost for tabular algebras); a nested product recurses.
+	var (
+		steps      []Result
+		strictSafe bool
+		checkMono  func() (Result, error)
+	)
+	if _, nested := p.First.(algebra.Product); nested {
+		first, err := AnalyzeSafetyWith(ctx, p.First, solver)
+		if err != nil {
+			return Report{}, err
+		}
+		steps, strictSafe = first.Steps, first.Verdict == Safe
+		checkMono = func() (Result, error) { return CheckWith(ctx, p.First, Monotonicity, solver) }
+	} else {
+		g, err := newConstraintGen(p.First)
+		if err != nil {
+			return Report{}, err
+		}
+		strict, err := checkGen(ctx, g, StrictMonotonicity, solver)
+		if err != nil {
+			return Report{}, err
+		}
+		steps, strictSafe = []Result{strict}, strict.Sat
+		checkMono = func() (Result, error) { return checkGen(ctx, g, Monotonicity, solver) }
 	}
-	rep := Report{Steps: first.Steps}
-	if first.Verdict == Safe {
+	rep := Report{Steps: steps}
+	if strictSafe {
 		rep.Verdict = Safe
 		rep.Reason = fmt.Sprintf("first factor of %s is strictly monotonic; lexical product is safe", p.Name())
 		return rep, nil
 	}
-	mono, err := CheckWith(ctx, p.First, Monotonicity, solver)
+	mono, err := checkMono()
 	if err != nil {
 		return Report{}, err
 	}

@@ -17,6 +17,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -87,20 +88,56 @@ type table struct {
 }
 
 func (tb *table) key(args []ndlog.Value) string {
-	idx := tb.decl.Keys
 	var b strings.Builder
-	if len(idx) == 0 {
-		idx = make([]int, len(args))
-		for i := range args {
-			idx[i] = i
+	if idx := tb.decl.Keys; len(idx) > 0 {
+		for _, i := range idx {
+			if i < len(args) {
+				writeKeyValue(&b, args[i])
+			}
 		}
-	}
-	for _, i := range idx {
-		if i < len(args) {
-			fmt.Fprintf(&b, "%v|", args[i])
+	} else {
+		for i := range args {
+			writeKeyValue(&b, args[i])
 		}
 	}
 	return b.String()
+}
+
+// writeKeyValue renders one key component followed by the '|' separator.
+func writeKeyValue(b *strings.Builder, v ndlog.Value) {
+	writeValue(b, v)
+	b.WriteByte('|')
+}
+
+// writeValue renders a Value the way fmt's %v would, but with the concrete
+// kinds (string, int, bool, List) written directly — this runs on every
+// tuple insert, and the reflective %v dominated the interpreted runner's
+// allocation profile.
+func writeValue(b *strings.Builder, v ndlog.Value) {
+	switch x := v.(type) {
+	case string:
+		b.WriteString(x)
+	case int:
+		var buf [20]byte
+		b.Write(strconv.AppendInt(buf[:0], int64(x), 10))
+	case bool:
+		if x {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case ndlog.List:
+		b.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			writeValue(b, e)
+		}
+		b.WriteByte(']')
+	default:
+		fmt.Fprintf(b, "%v", v)
+	}
 }
 
 // Node is one NDlog engine instance attached to a simnet node.

@@ -5,10 +5,16 @@
 // interfaces. Links model latency, jitter, bandwidth serialization and FIFO
 // queueing; all traffic is accounted into a trace.Collector so experiments
 // can plot the paper's bandwidth and convergence figures.
+//
+// The simulator's hot loop is allocation-free in steady state: events are
+// typed value records (timer vs. delivery vs. start) living in a slot arena
+// recycled through a free list, ordered by a hand-rolled index heap —
+// no per-event heap pointer, no per-delivery closure, no interface boxing.
+// Message delivery resolves links through dense per-node adjacency instead
+// of a global map keyed by node-ID pairs.
 package simnet
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math/rand"
@@ -31,7 +37,8 @@ type Env interface {
 	// Now returns the current time: virtual in simulation mode, wall-clock
 	// elapsed in deployment mode.
 	Now() time.Duration
-	// Neighbors returns the node's neighbors in a stable order.
+	// Neighbors returns the node's neighbors in a stable order. The
+	// returned slice is shared and read-only: callers must not modify it.
 	Neighbors() []NodeID
 	// Send transmits a payload of the given wire size to a neighbor.
 	// Sending to a non-neighbor is a programming error and panics.
@@ -67,38 +74,42 @@ func DefaultLink() LinkConfig {
 	return LinkConfig{Latency: 10 * time.Millisecond, Bandwidth: 100e6}
 }
 
-// event is a scheduled callback.
+// Event kinds. Typed records replace the closure-per-event design: the two
+// hot kinds (delivery, timer) carry their payload inline, so scheduling a
+// message allocates nothing once the arena is warm.
+const (
+	evStart   = iota // invoke handler.Start on node
+	evTimer          // run fn (protocol timer)
+	evDeliver        // deliver payload from → node
+)
+
+// event is one scheduled occurrence, stored by value in the arena.
 type event struct {
-	at  time.Duration
-	seq int64 // tie-break for determinism
-	fn  func()
+	at      time.Duration
+	seq     int64 // tie-break for determinism
+	kind    uint8
+	node    int32 // target node index (start target, delivery receiver)
+	from    int32 // delivery sender index
+	size    int32 // delivery wire size
+	payload any
+	fn      func()
 }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() *event  { return h[0] }
 
 // link is one directed link with its serialization queue state.
 type link struct {
 	cfg       LinkConfig
 	busyUntil time.Duration // FIFO serialization: next transmission start
+	dst       int32         // receiver node index
 }
 
 // node is a simulated node.
 type node struct {
 	id        NodeID
+	idx       int32
 	handler   Handler
 	neighbors []NodeID
+	links     []link           // parallel to neighbors: the outgoing link per neighbor
+	neighIdx  map[NodeID]int32 // neighbor ID → index into neighbors/links
 	rng       *rand.Rand
 	env       *simEnv
 }
@@ -106,10 +117,14 @@ type node struct {
 // Network is the discrete-event simulator. All scheduling is deterministic
 // given the seed; runs are reproducible byte-for-byte.
 type Network struct {
-	nodes     map[NodeID]*node
-	order     []NodeID
-	links     map[[2]NodeID]*link
-	queue     eventHeap
+	nodes map[NodeID]*node
+	order []NodeID
+	byIdx []*node
+
+	events []event // slot arena; recycled through free
+	free   []int32 // vacant arena slots
+	heap   []int32 // index heap over events, ordered by (at, seq)
+
 	now       time.Duration
 	seq       int64
 	rng       *rand.Rand
@@ -125,7 +140,6 @@ func New(seed int64, c *trace.Collector) *Network {
 	}
 	return &Network{
 		nodes:     map[NodeID]*node{},
-		links:     map[[2]NodeID]*link{},
 		rng:       rand.New(rand.NewSource(seed)),
 		collector: c,
 	}
@@ -142,10 +156,17 @@ func (n *Network) AddNode(id NodeID, h Handler) error {
 	if _, dup := n.nodes[id]; dup {
 		return fmt.Errorf("simnet: duplicate node %s", id)
 	}
-	nd := &node{id: id, handler: h, rng: rand.New(rand.NewSource(n.rng.Int63()))}
+	nd := &node{
+		id:       id,
+		idx:      int32(len(n.byIdx)),
+		handler:  h,
+		neighIdx: map[NodeID]int32{},
+		rng:      rand.New(rand.NewSource(n.rng.Int63())),
+	}
 	nd.env = &simEnv{net: n, node: nd}
 	n.nodes[id] = nd
 	n.order = append(n.order, id)
+	n.byIdx = append(n.byIdx, nd)
 	return nil
 }
 
@@ -156,20 +177,89 @@ func (n *Network) Connect(a, b NodeID, cfg LinkConfig) error {
 	if na == nil || nb == nil {
 		return fmt.Errorf("simnet: connect %s–%s: unknown node", a, b)
 	}
-	if _, dup := n.links[[2]NodeID{a, b}]; dup {
+	if _, dup := na.neighIdx[b]; dup {
 		return fmt.Errorf("simnet: duplicate link %s–%s", a, b)
 	}
-	n.links[[2]NodeID{a, b}] = &link{cfg: cfg}
-	n.links[[2]NodeID{b, a}] = &link{cfg: cfg}
+	na.neighIdx[b] = int32(len(na.neighbors))
 	na.neighbors = append(na.neighbors, b)
+	na.links = append(na.links, link{cfg: cfg, dst: nb.idx})
+	nb.neighIdx[a] = int32(len(nb.neighbors))
 	nb.neighbors = append(nb.neighbors, a)
+	nb.links = append(nb.links, link{cfg: cfg, dst: na.idx})
 	return nil
 }
 
-// schedule enqueues fn at time at.
-func (n *Network) schedule(at time.Duration, fn func()) {
+// scheduleEvent stamps the event with the next sequence number and enqueues
+// it, reusing a free arena slot when one exists.
+func (n *Network) scheduleEvent(ev event) {
 	n.seq++
-	heap.Push(&n.queue, &event{at: at, seq: n.seq, fn: fn})
+	ev.seq = n.seq
+	var idx int32
+	if last := len(n.free) - 1; last >= 0 {
+		idx = n.free[last]
+		n.free = n.free[:last]
+		n.events[idx] = ev
+	} else {
+		idx = int32(len(n.events))
+		n.events = append(n.events, ev)
+	}
+	n.heapPush(idx)
+}
+
+// schedule enqueues fn at time at (the timer path; kept for tests).
+func (n *Network) schedule(at time.Duration, fn func()) {
+	n.scheduleEvent(event{at: at, kind: evTimer, fn: fn})
+}
+
+// eventLess orders arena slots by (at, seq).
+func (n *Network) eventLess(a, b int32) bool {
+	ea, eb := &n.events[a], &n.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// heapPush inserts an arena index into the event heap.
+func (n *Network) heapPush(idx int32) {
+	h := append(n.heap, idx)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !n.eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	n.heap = h
+}
+
+// heapPop removes and returns the arena index of the earliest event.
+func (n *Network) heapPop() int32 {
+	h := n.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && n.eventLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && n.eventLess(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	n.heap = h
+	return top
 }
 
 // RunResult summarizes a simulation run.
@@ -200,8 +290,7 @@ func (n *Network) Run(horizon time.Duration) RunResult {
 // run with ctx.Err() and the partial result processed so far.
 func (n *Network) RunContext(ctx context.Context, horizon time.Duration) (RunResult, error) {
 	for _, id := range n.order {
-		nd := n.nodes[id]
-		n.schedule(0, func() { nd.handler.Start(nd.env) })
+		n.scheduleEvent(event{at: 0, kind: evStart, node: n.nodes[id].idx})
 	}
 	return n.resume(ctx, horizon)
 }
@@ -215,22 +304,36 @@ const ctxCheckInterval = 64
 func (n *Network) resume(ctx context.Context, horizon time.Duration) (RunResult, error) {
 	var processed int64
 	var lastEvent time.Duration
-	for n.queue.Len() > 0 {
+	for len(n.heap) > 0 {
 		if processed%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return RunResult{Converged: false, Time: n.now, Events: processed, Delivered: n.delivered}, err
 			}
 		}
-		if n.queue.Peek().at > horizon {
+		if n.events[n.heap[0]].at > horizon {
 			n.now = horizon
 			return RunResult{Converged: false, Time: horizon, Events: processed, Delivered: n.delivered}, nil
 		}
-		e := heap.Pop(&n.queue).(*event)
-		if e.at > n.now {
-			n.now = e.at
+		idx := n.heapPop()
+		ev := n.events[idx]     // copy out: dispatch below may grow the arena
+		n.events[idx] = event{} // clear the slot so payload/fn don't leak
+		n.free = append(n.free, idx)
+		if ev.at > n.now {
+			n.now = ev.at
 		}
 		lastEvent = n.now
-		e.fn()
+		switch ev.kind {
+		case evStart:
+			nd := n.byIdx[ev.node]
+			nd.handler.Start(nd.env)
+		case evTimer:
+			ev.fn()
+		case evDeliver:
+			dst := n.byIdx[ev.node]
+			n.collector.RecordRecv(string(dst.id), int(ev.size))
+			n.delivered++
+			dst.handler.Receive(dst.env, n.byIdx[ev.from].id, ev.payload)
+		}
 		processed++
 	}
 	n.collector.MarkConverged(lastEvent)
@@ -238,13 +341,16 @@ func (n *Network) resume(ctx context.Context, horizon time.Duration) (RunResult,
 }
 
 // deliver models the link: FIFO serialization at the sender, then
-// propagation latency plus jitter.
-func (n *Network) deliver(from, to NodeID, payload any, size int) {
-	l := n.links[[2]NodeID{from, to}]
-	if l == nil {
-		panic(fmt.Sprintf("simnet: %s sent to non-neighbor %s", from, to))
+// propagation latency plus jitter. The receive itself is a typed event
+// record, not a closure, so the send path allocates nothing in steady
+// state.
+func (n *Network) deliver(from *node, to NodeID, payload any, size int) {
+	li, ok := from.neighIdx[to]
+	if !ok {
+		panic(fmt.Sprintf("simnet: %s sent to non-neighbor %s", from.id, to))
 	}
-	n.collector.RecordSend(string(from), size, n.now)
+	l := &from.links[li]
+	n.collector.RecordSend(string(from.id), size, n.now)
 	txStart := n.now
 	if l.busyUntil > txStart {
 		txStart = l.busyUntil
@@ -259,11 +365,13 @@ func (n *Network) deliver(from, to NodeID, payload any, size int) {
 	if l.cfg.Jitter > 0 {
 		prop += time.Duration(n.rng.Int63n(int64(l.cfg.Jitter)))
 	}
-	dst := n.nodes[to]
-	n.schedule(txEnd+prop, func() {
-		n.collector.RecordRecv(string(to), size)
-		n.delivered++
-		dst.handler.Receive(dst.env, from, payload)
+	n.scheduleEvent(event{
+		at:      txEnd + prop,
+		kind:    evDeliver,
+		node:    l.dst,
+		from:    from.idx,
+		size:    int32(size),
+		payload: payload,
 	})
 }
 
@@ -277,19 +385,17 @@ func (e *simEnv) Self() NodeID       { return e.node.id }
 func (e *simEnv) Now() time.Duration { return e.net.now }
 func (e *simEnv) Rand() *rand.Rand   { return e.node.rng }
 
-func (e *simEnv) Neighbors() []NodeID {
-	out := make([]NodeID, len(e.node.neighbors))
-	copy(out, e.node.neighbors)
-	return out
-}
+// Neighbors returns the node's cached adjacency; the slice is shared and
+// must not be modified by the caller.
+func (e *simEnv) Neighbors() []NodeID { return e.node.neighbors }
 
 func (e *simEnv) Send(to NodeID, payload any, size int) {
-	e.net.deliver(e.node.id, to, payload, size)
+	e.net.deliver(e.node, to, payload, size)
 }
 
 func (e *simEnv) Schedule(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.net.schedule(e.net.now+d, fn)
+	e.net.scheduleEvent(event{at: e.net.now + d, kind: evTimer, fn: fn})
 }

@@ -78,7 +78,10 @@ func (y YicesText) Solve(ctx context.Context, assertions []Assertion) (Result, e
 	return re.CheckContext(ctx)
 }
 
-// Backends returns every built-in solver backend, in preference order.
+// Backends returns every built-in production solver backend, in preference
+// order. The Reference backend (the retained pre-incremental implementation
+// used by differential tests) is resolvable by name but deliberately
+// excluded here.
 func Backends() []Solver { return []Solver{Native{}, YicesText{}} }
 
 // SolverByName resolves a backend by its Name; it returns an error naming
@@ -89,7 +92,9 @@ func SolverByName(name string) (Solver, error) {
 		return Native{}, nil
 	case "yices-text", "yices":
 		return YicesText{}, nil
+	case "reference":
+		return Reference{}, nil
 	default:
-		return nil, fmt.Errorf("smt: unknown solver backend %q (have: native, yices-text)", name)
+		return nil, fmt.Errorf("smt: unknown solver backend %q (have: native, yices-text, reference)", name)
 	}
 }

@@ -1,0 +1,182 @@
+package smt
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomInstance draws a difference-constraint instance with occasional
+// constants and quantified monotonicity atoms — the full shape the analysis
+// layer emits. Instances skew toward unsat so the core paths get exercised.
+func randomInstance(rng *rand.Rand) []Assertion {
+	vars := []string{"a", "b", "c", "d", "e", "f"}
+	rels := []Rel{Lt, Le, Eq, Gt, Ge}
+	n := 2 + rng.Intn(14)
+	out := make([]Assertion, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(12) {
+		case 0: // constant on one side
+			out = append(out, Assertion{
+				Rel:    rels[rng.Intn(len(rels))],
+				A:      V(vars[rng.Intn(len(vars))]).Plus(rng.Intn(3) - 1),
+				B:      C(rng.Intn(4)),
+				Origin: fmt.Sprintf("r%d", i),
+			})
+		case 1: // valid quantified monotonicity
+			out = append(out, Assertion{
+				Rel: Lt, A: V("s"), B: V("s").Plus(1 + rng.Intn(2)),
+				QuantVar: "s", Origin: fmt.Sprintf("r%d", i),
+			})
+		default:
+			out = append(out, Assertion{
+				Rel:    rels[rng.Intn(len(rels))],
+				A:      V(vars[rng.Intn(len(vars))]).Plus(rng.Intn(5) - 2),
+				B:      V(vars[rng.Intn(len(vars))]).Plus(rng.Intn(5) - 2),
+				Origin: fmt.Sprintf("r%d", i),
+			})
+		}
+	}
+	return out
+}
+
+// TestDifferentialRandomized holds the incremental engine to the retained
+// reference implementation on randomized instances: identical sat/unsat
+// verdicts, identical models (not merely valid ones — the shortest-path
+// fixpoint is unique, so both solvers must land on it), and identical
+// minimal cores element for element.
+func TestDifferentialRandomized(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		asserts := randomInstance(rng)
+		got, err := (Native{}).Solve(ctx, asserts)
+		if err != nil {
+			t.Fatalf("trial %d: native: %v", trial, err)
+		}
+		want, err := (Reference{}).Solve(ctx, asserts)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		if got.Sat != want.Sat {
+			t.Fatalf("trial %d: verdicts disagree: native sat=%v, reference sat=%v\n%s",
+				trial, got.Sat, want.Sat, FormatCore(asserts))
+		}
+		if got.Sat {
+			if !reflect.DeepEqual(got.Model, want.Model) {
+				t.Fatalf("trial %d: models disagree:\nnative    %v\nreference %v", trial, got.Model, want.Model)
+			}
+			s := NewContext()
+			s.AssertAll(asserts)
+			if bad := s.Verify(got.Model); bad != nil {
+				t.Fatalf("trial %d: native model violates %s", trial, bad)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got.CoreIdx, want.CoreIdx) {
+			t.Fatalf("trial %d: cores disagree:\nnative    %v\nreference %v\ninstance:\n%s",
+				trial, got.CoreIdx, want.CoreIdx, FormatCore(asserts))
+		}
+		if !reflect.DeepEqual(got.Core, want.Core) {
+			t.Fatalf("trial %d: core assertions disagree:\nnative    %s\nreference %s",
+				trial, FormatCore(got.Core), FormatCore(want.Core))
+		}
+		if got.UsesPositivity != want.UsesPositivity {
+			t.Fatalf("trial %d: positivity flags disagree: native %v, reference %v",
+				trial, got.UsesPositivity, want.UsesPositivity)
+		}
+	}
+}
+
+// TestDifferentialNoMinimize: with minimization disabled the two
+// implementations may pick different negative cycles (the contract says the
+// choice of cycle is arbitrary), but both must agree on the verdict and the
+// native cycle core must itself be unsatisfiable.
+func TestDifferentialNoMinimize(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		asserts := randomInstance(rng)
+		got, err := (Native{NoMinimize: true}).Solve(ctx, asserts)
+		if err != nil {
+			t.Fatalf("trial %d: native: %v", trial, err)
+		}
+		want, err := (Reference{NoMinimize: true}).Solve(ctx, asserts)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		if got.Sat != want.Sat {
+			t.Fatalf("trial %d: verdicts disagree: native %v, reference %v", trial, got.Sat, want.Sat)
+		}
+		if !got.Sat && len(got.Core) > 0 {
+			s := NewContext()
+			s.AssertAll(got.Core)
+			if res, _ := s.Check(); res.Sat {
+				t.Fatalf("trial %d: native cycle core is not unsat: %s", trial, FormatCore(got.Core))
+			}
+		}
+	}
+}
+
+// TestDifferentialLargeChains exercises deep shortest-path chains (the
+// SolverScaling shape) where SPFA's queue behavior differs most from
+// pass-based Bellman–Ford.
+func TestDifferentialLargeChains(t *testing.T) {
+	ctx := context.Background()
+	for _, n := range []int{50, 500} {
+		sat := make([]Assertion, 0, n)
+		for i := 0; i < n; i++ {
+			sat = append(sat, Assertion{
+				Rel: Lt,
+				A:   V(fmt.Sprintf("x%d", i)),
+				B:   V(fmt.Sprintf("x%d", i+1)),
+			})
+		}
+		got, _ := (Native{}).Solve(ctx, sat)
+		want, _ := (Reference{}).Solve(ctx, sat)
+		if !got.Sat || !want.Sat || !reflect.DeepEqual(got.Model, want.Model) {
+			t.Fatalf("n=%d: chain disagreement: sat %v/%v", n, got.Sat, want.Sat)
+		}
+		// Close the chain into a long negative cycle.
+		unsat := append(sat[:n:n], Assertion{
+			Rel: Lt, A: V(fmt.Sprintf("x%d", n)), B: V("x0"),
+		})
+		got, _ = (Native{}).Solve(ctx, unsat)
+		want, _ = (Reference{}).Solve(ctx, unsat)
+		if got.Sat || want.Sat || !reflect.DeepEqual(got.CoreIdx, want.CoreIdx) {
+			t.Fatalf("n=%d: cycle disagreement: sat %v/%v cores %v vs %v",
+				n, got.Sat, want.Sat, got.CoreIdx, want.CoreIdx)
+		}
+		if len(got.Core) != n+1 {
+			t.Fatalf("n=%d: want full-cycle core of %d, got %d", n, n+1, len(got.Core))
+		}
+	}
+}
+
+// TestSatSolveAllocationBudget pins the steady-state sat path to its
+// allocation budget: with a warm engine pool, a solve should allocate only
+// the context, the assertion copy, and the model map.
+func TestSatSolveAllocationBudget(t *testing.T) {
+	const n = 200
+	asserts := make([]Assertion, 0, n)
+	for i := 0; i < n; i++ {
+		asserts = append(asserts, Assertion{
+			Rel: Lt,
+			A:   V(fmt.Sprintf("x%d", i)),
+			B:   V(fmt.Sprintf("x%d", i+1)),
+		})
+	}
+	ctx := context.Background()
+	solve := func() {
+		res, err := (Native{}).Solve(ctx, asserts)
+		if err != nil || !res.Sat {
+			t.Fatalf("solve: sat=%v err=%v", res.Sat, err)
+		}
+	}
+	solve() // warm the engine pool
+	if got := testing.AllocsPerRun(50, solve); got > 12 {
+		t.Errorf("sat-path solve allocates %.1f objects/op, budget is 12", got)
+	}
+}

@@ -23,7 +23,7 @@ package smt
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -152,6 +152,10 @@ type Result struct {
 	// Core, when !Sat, is a minimal unsatisfiable subset of the asserted
 	// atoms: every proper subset of Core is satisfiable.
 	Core []Assertion
+	// CoreIdx gives each Core element's position in the asserted (input)
+	// order, letting callers map cores back to their own constraint
+	// records without string matching on Origin.
+	CoreIdx []int
 	// UsesPositivity reports whether the implicit n > 0 typing of variables
 	// participates in the contradiction (the paper's Sig subtype).
 	UsesPositivity bool
@@ -182,6 +186,7 @@ func (s *Context) Assert(a Assertion) { s.asserts = append(s.asserts, a.normaliz
 
 // AssertAll adds all assertions in order.
 func (s *Context) AssertAll(as []Assertion) {
+	s.asserts = slices.Grow(s.asserts, len(as))
 	for _, a := range as {
 		s.Assert(a)
 	}
@@ -197,108 +202,7 @@ func (s *Context) Assertions() []Assertion {
 // Len returns the number of asserted atoms.
 func (s *Context) Len() int { return len(s.asserts) }
 
-// edge is one difference constraint to(x) − from(y) ≤ w, i.e. an edge
-// from → to of weight w in the constraint graph; assertIdx < 0 marks the
-// implicit positivity constraints.
-type edge struct {
-	from, to  int
-	w         int
-	assertIdx int
-}
-
 const zeroNode = 0 // graph node representing the constant 0
-
-// graph is the difference-constraint graph of a set of ground assertions.
-type graph struct {
-	edges []edge
-	varID map[Var]int
-	idVar []Var
-}
-
-// buildGraph translates ground assertions (identified by their indices into
-// s.asserts) into a difference graph; active filters which assertions
-// participate (nil means all).
-func buildGraph(all []Assertion, idxs []int, active []bool) graph {
-	return buildGraphOpt(all, idxs, active, true)
-}
-
-func buildGraphOpt(all []Assertion, idxs []int, active []bool, positivity bool) graph {
-	g := graph{varID: map[Var]int{}, idVar: []Var{""}} // node 0 = the constant 0
-	id := func(v Var) int {
-		if v == "" {
-			return zeroNode
-		}
-		if n, ok := g.varID[v]; ok {
-			return n
-		}
-		n := len(g.idVar)
-		g.varID[v] = n
-		g.idVar = append(g.idVar, v)
-		return n
-	}
-	for _, ai := range idxs {
-		if active != nil && !active[ai] {
-			continue
-		}
-		a := all[ai]
-		va, vb := id(a.A.Var), id(a.B.Var)
-		// A ≤ B:  val(va)+ka ≤ val(vb)+kb  ⇒  va − vb ≤ kb − ka.
-		w := a.B.K - a.A.K
-		switch a.Rel {
-		case Le:
-			g.edges = append(g.edges, edge{from: vb, to: va, w: w, assertIdx: ai})
-		case Lt:
-			g.edges = append(g.edges, edge{from: vb, to: va, w: w - 1, assertIdx: ai})
-		case Eq:
-			g.edges = append(g.edges, edge{from: vb, to: va, w: w, assertIdx: ai})
-			g.edges = append(g.edges, edge{from: va, to: vb, w: -w, assertIdx: ai})
-		}
-	}
-	// Positivity: x ≥ 1  ⇔  0 − x ≤ −1  ⇒  edge x → zero of weight −1.
-	if positivity {
-		for _, v := range g.idVar[1:] {
-			g.edges = append(g.edges, edge{from: g.varID[v], to: zeroNode, w: -1, assertIdx: -1})
-		}
-	}
-	return g
-}
-
-// bellmanFord relaxes the graph with an implicit virtual source (dist ≡ 0).
-// It returns the final distances, the predecessor edge per node, and a node
-// relaxed in the n-th pass (−1 when the graph converged, i.e. is
-// satisfiable).
-func (g graph) bellmanFord() (dist []int, pred []int, relaxedNode int) {
-	n := len(g.idVar)
-	dist = make([]int, n)
-	pred = make([]int, n)
-	for i := range pred {
-		pred[i] = -1
-	}
-	relaxedNode = -1
-	for pass := 0; pass < n; pass++ {
-		relaxedNode = -1
-		for ei, e := range g.edges {
-			if d := dist[e.from] + e.w; d < dist[e.to] {
-				dist[e.to] = d
-				pred[e.to] = ei
-				if relaxedNode < 0 {
-					relaxedNode = e.to
-				}
-			}
-		}
-		if relaxedNode < 0 {
-			return dist, pred, -1
-		}
-	}
-	return dist, pred, relaxedNode
-}
-
-// sat reports whether the subset of ground assertions selected by active is
-// satisfiable.
-func groundSat(all []Assertion, idxs []int, active []bool) bool {
-	_, _, relaxed := buildGraph(all, idxs, active).bellmanFord()
-	return relaxed < 0
-}
 
 // Check decides the conjunction of all asserted atoms. It returns an error
 // only for quantified assertions outside the supported pattern; unsat inputs
@@ -309,6 +213,14 @@ func (s *Context) Check() (Result, error) { return s.CheckContext(context.Backgr
 // solver phases and on every core-minimization probe (the dominant cost on
 // unsat inputs), so a cancelled long-running solve returns ctx.Err()
 // promptly.
+//
+// The decision procedure is the pooled incremental engine of engine.go:
+// variables are interned into dense IDs and the edge list is built once,
+// satisfiability is decided by SPFA over preallocated buffers, and core
+// minimization probes flip an active mask instead of rebuilding the graph.
+// The retained reference implementation (reference.go) decides the same
+// inputs the original way; differential tests hold the two to identical
+// verdicts, models, and cores.
 func (s *Context) CheckContext(ctx context.Context) (Result, error) {
 	start := time.Now()
 	res := Result{}
@@ -317,38 +229,37 @@ func (s *Context) CheckContext(ctx context.Context) (Result, error) {
 	}
 
 	// Phase 1: decide quantified assertions analytically.
-	groundIdx := []int{}
-	for i, a := range s.asserts {
+	for i := range s.asserts {
+		a := &s.asserts[i]
 		if a.QuantVar == "" {
-			groundIdx = append(groundIdx, i)
 			continue
 		}
-		ok, err := quantifiedValid(a)
+		ok, err := quantifiedValid(*a)
 		if err != nil {
 			return Result{}, err
 		}
 		if !ok {
 			// A single invalid universal is itself a minimal core.
 			res.Sat = false
-			res.Core = []Assertion{a}
+			res.Core = []Assertion{*a}
+			res.CoreIdx = []int{i}
 			res.Stats = Stats{Assertions: len(s.asserts), Duration: time.Since(start)}
 			return res, nil
 		}
 	}
 
-	// Phase 2+3: difference graph and Bellman–Ford.
-	g := buildGraph(s.asserts, groundIdx, nil)
-	n := len(g.idVar)
-	res.Stats = Stats{Assertions: len(s.asserts), Variables: n - 1, Edges: len(g.edges)}
-	dist, pred, relaxedNode := g.bellmanFord()
+	// Phase 2+3: dense difference graph and SPFA on a pooled engine.
+	e := grabEngine(s.asserts)
+	defer e.release()
+	res.Stats = Stats{Assertions: len(s.asserts), Variables: len(e.idVar) - 1, Edges: len(e.edges)}
 
-	if relaxedNode >= 0 {
+	if e.decide() {
 		var coreIdx []int
 		var err error
 		if s.NoMinimize {
-			coreIdx, res.UsesPositivity = extractCycleCore(g, pred, relaxedNode, groundIdx)
+			coreIdx, res.UsesPositivity = e.cycleCore()
 		} else {
-			coreIdx, res.UsesPositivity, err = s.minimizeCore(ctx, groundIdx)
+			coreIdx, res.UsesPositivity, err = e.minimize(ctx, s.asserts)
 			if err != nil {
 				return Result{}, err
 			}
@@ -359,6 +270,7 @@ func (s *Context) CheckContext(ctx context.Context) (Result, error) {
 		}
 		res.Sat = false
 		res.Core = core
+		res.CoreIdx = coreIdx
 		res.Stats.Duration = time.Since(start)
 		return res, nil
 	}
@@ -366,88 +278,18 @@ func (s *Context) CheckContext(ctx context.Context) (Result, error) {
 	// Phase 4: extract a model. val(x) = dist(x) − dist(zero) satisfies
 	// every difference constraint (distances do) and positivity (the
 	// positivity edges are part of the graph).
-	model := make(map[Var]int, n-1)
-	for v, i := range g.varID {
-		model[v] = dist[i] - dist[zeroNode]
+	model := make(map[Var]int, len(e.idVar)-1)
+	d0 := e.dist[zeroNode]
+	for i, v := range e.idVar {
+		if i == zeroNode {
+			continue
+		}
+		model[v] = e.dist[i] - d0
 	}
 	res.Sat = true
 	res.Model = model
 	res.Stats.Duration = time.Since(start)
 	return res, nil
-}
-
-// minimizeCore performs deletion-based minimization over the ground
-// assertions: walking candidates from last to first, each assertion whose
-// removal keeps the remainder unsatisfiable is dropped. The result is a
-// minimal unsatisfiable subset (every proper subset is satisfiable) biased
-// toward the earliest-asserted constraints, matching the way the paper's
-// narratives name the first violation (c ⊕ C = C for Gao-Rexford).
-func (s *Context) minimizeCore(ctx context.Context, groundIdx []int) (core []int, usesPositivity bool, err error) {
-	active := make([]bool, len(s.asserts))
-	for _, i := range groundIdx {
-		active[i] = true
-	}
-	for k := len(groundIdx) - 1; k >= 0; k-- {
-		if err := ctx.Err(); err != nil {
-			return nil, false, err
-		}
-		i := groundIdx[k]
-		active[i] = false
-		if groundSat(s.asserts, groundIdx, active) {
-			active[i] = true // needed for unsatisfiability
-		}
-	}
-	for _, i := range groundIdx {
-		if active[i] {
-			core = append(core, i)
-		}
-	}
-	// The core involves positivity iff it becomes satisfiable over all of ℤ
-	// once the implicit n > 0 typing is dropped.
-	_, _, relaxed := buildGraphOpt(s.asserts, groundIdx, active, false).bellmanFord()
-	usesPositivity = relaxed < 0
-	return core, usesPositivity, nil
-}
-
-// extractCycleCore collects the assertions on the negative cycle reachable
-// through the predecessor pointers — the fast, non-minimized core used when
-// NoMinimize is set. The returned cycle is simple, hence itself a minimal
-// unsatisfiable subset, but which of several cores is found is arbitrary.
-func extractCycleCore(g graph, pred []int, relaxedNode int, groundIdx []int) (core []int, usesPositivity bool) {
-	node := relaxedNode
-	for i := 0; i < len(g.idVar) && pred[node] >= 0; i++ {
-		node = g.edges[pred[node]].from
-	}
-	startNode := node
-	coreIdx := map[int]bool{}
-	for steps := 0; ; steps++ {
-		if pred[node] < 0 || steps > len(g.edges) {
-			// Defensive fallback; a pass-n relaxation guarantees the
-			// predecessor walk closes a cycle, so this path is unreachable
-			// in practice. Report the full ground set rather than a wrong
-			// core.
-			coreIdx = map[int]bool{}
-			for _, gi := range groundIdx {
-				coreIdx[gi] = true
-			}
-			break
-		}
-		e := g.edges[pred[node]]
-		if e.assertIdx >= 0 {
-			coreIdx[e.assertIdx] = true
-		} else {
-			usesPositivity = true
-		}
-		node = e.from
-		if node == startNode {
-			break
-		}
-	}
-	for i := range coreIdx {
-		core = append(core, i)
-	}
-	sort.Ints(core)
-	return core, usesPositivity
 }
 
 // quantifiedValid decides ∀v. A Rel B for the supported pattern where both
