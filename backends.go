@@ -1,7 +1,10 @@
 package fsr
 
 import (
+	"io"
+
 	"fsr/internal/engine"
+	"fsr/internal/scenario"
 	"fsr/internal/smt"
 )
 
@@ -57,3 +60,71 @@ func RunnerBackends() []RunnerBackend { return engine.Runners() }
 // RunnerBackendByName resolves "sim", "sim-ndlog" (alias "ndlog"), or "tcp"
 // (aliases "deploy", "deployment").
 func RunnerBackendByName(name string) (RunnerBackend, error) { return engine.RunnerByName(name) }
+
+// Scenario engine. The third pluggable axis beside solvers and runners:
+// seeded generators of whole workloads, consumed by Session.Campaign. See
+// the internal/scenario package for the generator guarantees.
+
+type (
+	// ScenarioKind names a scenario generator.
+	ScenarioKind = scenario.Kind
+	// Scenario is one generated workload: instance, seed, and the verdict
+	// its construction guarantees.
+	Scenario = scenario.Scenario
+	// ScenarioExpectation is a generator's guaranteed verdict.
+	ScenarioExpectation = scenario.Expectation
+	// CampaignSpec parameterizes Session.Campaign.
+	CampaignSpec = scenario.Spec
+	// CampaignReport is a campaign's classified outcome.
+	CampaignReport = scenario.Report
+	// CampaignResult is one scenario's campaign record.
+	CampaignResult = scenario.Result
+	// CampaignOutcome classifies one scenario's analysis-vs-execution result.
+	CampaignOutcome = scenario.Outcome
+	// CorpusEntry is one replayable counterexample record.
+	CorpusEntry = scenario.CorpusEntry
+	// ReplayResult is one corpus entry's reproduction check.
+	ReplayResult = scenario.ReplayResult
+)
+
+// Scenario generator kinds and campaign outcome classes.
+const (
+	ScenarioGadgetSplice     = scenario.GadgetSplice
+	ScenarioGaoRexford       = scenario.GaoRexford
+	ScenarioIBGP             = scenario.IBGP
+	ScenarioDivergentFixture = scenario.DivergentFixture
+
+	ExpectAny    = scenario.ExpectAny
+	ExpectSafe   = scenario.ExpectSafe
+	ExpectUnsafe = scenario.ExpectUnsafe
+
+	OutcomeAgreement    = scenario.OutcomeAgreement
+	OutcomeConservative = scenario.OutcomeConservative
+	OutcomeDivergence   = scenario.OutcomeDivergence
+	OutcomeMismatch     = scenario.OutcomeMismatch
+	OutcomeTimeout      = scenario.OutcomeTimeout
+	OutcomeError        = scenario.OutcomeError
+)
+
+// ScenarioKinds lists every registered scenario generator.
+func ScenarioKinds() []ScenarioKind { return scenario.Kinds() }
+
+// DefaultScenarioKinds is the mixed workload campaigns run when no kinds
+// are named.
+func DefaultScenarioKinds() []ScenarioKind { return scenario.DefaultKinds() }
+
+// ScenarioKindByName resolves a generator kind by name.
+func ScenarioKindByName(name string) (ScenarioKind, error) { return scenario.KindByName(name) }
+
+// GenerateScenario derives the deterministic scenario for (kind, seed).
+func GenerateScenario(kind ScenarioKind, seed int64) (*Scenario, error) {
+	return scenario.Generate(kind, seed)
+}
+
+// WriteScenarioCorpus writes corpus entries as JSON Lines.
+func WriteScenarioCorpus(w io.Writer, entries []CorpusEntry) error {
+	return scenario.WriteCorpus(w, entries)
+}
+
+// ReadScenarioCorpus parses a JSON Lines corpus.
+func ReadScenarioCorpus(r io.Reader) ([]CorpusEntry, error) { return scenario.ReadCorpus(r) }

@@ -143,6 +143,29 @@ func BenchmarkStageAnalyzeAll(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaign measures the scenario engine at growing sweep sizes:
+// generation, analysis, and bounded simulation per scenario across the
+// worker pool — the scaling point for "as many scenarios as you can
+// imagine" workloads.
+func BenchmarkCampaign(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sess := NewSession()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := sess.Campaign(ctx, CampaignSpec{Count: n, BaseSeed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Interesting()) != 0 {
+					b.Fatalf("campaign found divergences:\n%s", rep)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTableI regenerates Table I: the policy-configuration spectrum.
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -10,24 +10,41 @@
 //	fsr compile  [-config FILE | -builtin NAME]               emit the NDlog program
 //	fsr yices    [-config FILE | -builtin NAME]               emit the solver encoding
 //	fsr run      [-gadget NAME] [-runner B] [-horizon D]      execute a gadget under GPV
+//	fsr campaign [-count N] [-seed S] [-kinds K,K] [-shard i/n] [-shrink]
+//	             [-corpus FILE | -replay FILE]                differential campaign
 //	fsr experiment <table1|table2|fig3|fig4|fig5|fig6|vic> [flags]
 //	fsr topo     [-depth N] [-seed S]                         print a generated AS hierarchy
 //
 // Built-in policies: gao-rexford-a, gao-rexford-b, gao-rexford-safe,
 // hop-count, backup. Built-in gadgets: goodgadget, badgadget, disagree,
 // fig3, fig3-fixed. Solver backends: native, yices-text. Runner backends:
-// sim, sim-ndlog, tcp.
+// sim, sim-ndlog, tcp. Scenario kinds: gadget-splice, gao-rexford, ibgp,
+// divergent-fixture.
+//
+// Exit codes distinguish outcomes for campaign scripting: 0 means the
+// command succeeded (and, where applicable, the analysis proved safety),
+// 1 means the toolkit worked and found unsafety (an unsafe verdict, a
+// campaign divergence/mismatch, or a replay that does not reproduce), and
+// 2 means a tool error (bad flags, unreadable files, backend failures).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"fsr"
 )
+
+// errUnsafe marks "the analysis worked and found unsafety": the command
+// already printed its report, and the process exits 1 (vs 2 for tool
+// errors), so campaign scripts can tell a finding from a failure.
+var errUnsafe = errors.New("analysis found unsafety")
 
 func main() {
 	if len(os.Args) < 2 {
@@ -44,6 +61,8 @@ func main() {
 		err = cmdYices(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "campaign":
+		err = cmdCampaign(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
 	case "topo":
@@ -55,9 +74,13 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fsr:", err)
+	switch {
+	case err == nil:
+	case errors.Is(err, errUnsafe):
 		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "fsr:", err)
+		os.Exit(2)
 	}
 }
 
@@ -69,8 +92,11 @@ commands:
   compile     emit the generated NDlog implementation
   yices       emit the Yices-syntax solver encoding
   run         execute a gadget instance under GPV
+  campaign    differential analysis-vs-simulation campaign over generated scenarios
   experiment  regenerate a table or figure of the paper
   topo        print a generated AS hierarchy
+
+exit codes: 0 success/safe, 1 unsafety or divergence found, 2 tool error
 `)
 }
 
@@ -152,6 +178,165 @@ func cmdAnalyze(args []string) error {
 	if conv != nil && rep.Verdict == fsr.Unsafe && len(rep.Steps) > 0 {
 		suspects := conv.SuspectNodes(rep.Steps[0].Core)
 		fmt.Printf("suspect nodes: %v\n", suspects)
+	}
+	if rep.Verdict == fsr.Unsafe {
+		return errUnsafe
+	}
+	return nil
+}
+
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	count := fs.Int("count", 64, "total number of scenarios across all shards")
+	seed := fs.Int64("seed", 1, "base seed; scenario i uses seed+i")
+	kindsFlag := fs.String("kinds", "", "comma-separated scenario kinds (default: gadget-splice,gao-rexford,ibgp)")
+	shardFlag := fs.String("shard", "", "contiguous shard of the seed range, as i/n (e.g. 0/4)")
+	horizon := fs.Duration("horizon", 2*time.Second, "per-scenario simulation horizon (virtual time)")
+	deadline := fs.Duration("deadline", 0, "overall wall-clock deadline for the campaign (0 = none)")
+	noSim := fs.Bool("no-sim", false, "skip the differential simulation, classify on analysis alone")
+	shrink := fs.Bool("shrink", false, "delta-debug divergences and mismatches to minimal instances")
+	corpusPath := fs.String("corpus", "", "write interesting outcomes (shrunk where possible) to this JSON Lines file")
+	replayPath := fs.String("replay", "", "replay a corpus file instead of generating scenarios")
+	solverName := fs.String("solver", "native", "solver backend: native|yices-text")
+	runnerName := fs.String("runner", "sim", "runner backend: sim|sim-ndlog|tcp")
+	verbose := fs.Bool("v", false, "print every scenario result, not just the summary")
+	fs.Parse(args)
+
+	if *replayPath != "" {
+		// -replay is a mode of its own: generation flags would be silently
+		// ignored, so reject the combination instead of surprising scripts.
+		var conflicting []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "count", "seed", "kinds", "shard", "horizon", "no-sim", "shrink", "corpus":
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			return fmt.Errorf("-replay re-creates each entry's recorded conditions and cannot be combined with %s", strings.Join(conflicting, ", "))
+		}
+	}
+	if *seed == 0 {
+		return fmt.Errorf("-seed must be nonzero (0 is the library's use-the-default sentinel and would silently rebase to 1)")
+	}
+	if *count <= 0 {
+		return fmt.Errorf("-count must be positive (0 is the library's use-the-default sentinel and would silently rebase to 64)")
+	}
+	sess, err := sessionFromFlags(*solverName, *runnerName)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		entries, err := fsr.ReadScenarioCorpus(f)
+		if err != nil {
+			return err
+		}
+		results, err := sess.Replay(ctx, entries)
+		if err != nil {
+			return err
+		}
+		failed, errored := 0, 0
+		for _, rr := range results {
+			fmt.Println(rr)
+			switch {
+			case rr.Err != "":
+				errored++
+			case !rr.Reproduced:
+				failed++
+			}
+		}
+		msg := fmt.Sprintf("replayed %d corpus entr(ies), %d not reproduced", len(results), failed)
+		if errored > 0 {
+			msg += fmt.Sprintf(", %d errored", errored)
+		}
+		fmt.Println(msg)
+		if failed > 0 {
+			return errUnsafe
+		}
+		if errored > 0 {
+			return fmt.Errorf("replay: %d entr(ies) failed to evaluate", errored)
+		}
+		return nil
+	}
+
+	spec := fsr.CampaignSpec{
+		Count:    *count,
+		BaseSeed: *seed,
+		Horizon:  *horizon,
+		NoSim:    *noSim,
+		Shrink:   *shrink,
+	}
+	if *kindsFlag != "" {
+		for _, name := range strings.Split(*kindsFlag, ",") {
+			kind, err := fsr.ScenarioKindByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			spec.Kinds = append(spec.Kinds, kind)
+		}
+	}
+	if *shardFlag != "" {
+		i := strings.IndexByte(*shardFlag, '/')
+		if i < 0 {
+			return fmt.Errorf("-shard wants i/n, got %q", *shardFlag)
+		}
+		s, err1 := strconv.Atoi((*shardFlag)[:i])
+		n, err2 := strconv.Atoi((*shardFlag)[i+1:])
+		if err1 != nil || err2 != nil || n < 1 || s < 0 || s >= n {
+			return fmt.Errorf("-shard wants i/n with 0 ≤ i < n, got %q", *shardFlag)
+		}
+		spec.Shard, spec.NumShards = s, n
+	}
+	rep, err := sess.Campaign(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		for _, r := range rep.Results {
+			fmt.Println(r)
+		}
+	}
+	fmt.Println(rep)
+	if *corpusPath != "" {
+		entries, err := rep.CorpusEntries()
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*corpusPath)
+		if err != nil {
+			return err
+		}
+		if err := fsr.WriteScenarioCorpus(f, entries); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d corpus entr(ies) to %s\n", len(entries), *corpusPath)
+	}
+	// Exit-code contract: 1 is reserved for genuine analysis-vs-simulation
+	// disagreements; scenarios that timed out or errored are infrastructure
+	// failures and exit 2 (unless a real disagreement was also found, which
+	// takes precedence as the more actionable signal).
+	tally := rep.Tally()
+	if tally[fsr.OutcomeDivergence]+tally[fsr.OutcomeMismatch] > 0 {
+		return errUnsafe
+	}
+	if n := tally[fsr.OutcomeTimeout] + tally[fsr.OutcomeError]; n > 0 {
+		return fmt.Errorf("campaign: %d scenario(s) timed out or errored", n)
 	}
 	return nil
 }

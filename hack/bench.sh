@@ -16,7 +16,7 @@ out="BENCH_${tag}.json"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'Stage|Figure3Analysis|SolverScaling' \
+go test -run '^$' -bench 'Stage|Figure3Analysis|SolverScaling|Campaign' \
     -benchmem -count "$count" . | tee "$tmp"
 
 awk '

@@ -1,0 +1,433 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsr/internal/analysis"
+	"fsr/internal/engine"
+	"fsr/internal/smt"
+	"fsr/internal/spp"
+)
+
+// Spec parameterizes one campaign: a seed range fanned across generator
+// kinds, each scenario analyzed for safety and (unless NoSim) executed as a
+// bounded simulation, with outcomes classified against the generator's
+// expectation. The zero value is usable: default kinds, 64 scenarios,
+// base seed 1, 2 s simulation horizon, GOMAXPROCS workers.
+type Spec struct {
+	// Kinds cycles over the scenario generators; scenario i uses
+	// Kinds[i%len(Kinds)]. Empty means DefaultKinds.
+	Kinds []Kind
+	// Count is the total number of scenarios across all shards (default 64).
+	Count int
+	// BaseSeed is the first seed; scenario i uses BaseSeed+i (default 1).
+	BaseSeed int64
+	// Shard/NumShards select a contiguous slice of the global index range,
+	// for fanning one campaign across processes or machines: shard s of n
+	// processes indices [s·Count/n, (s+1)·Count/n). NumShards 0 or 1 means
+	// the whole range.
+	Shard, NumShards int
+	// Horizon bounds each simulation run in virtual time (default 2 s when
+	// Run is called directly; Session.Campaign fills a zero Horizon from
+	// the session's WithHorizon setting instead).
+	Horizon time.Duration
+	// NoSim skips the differential execution, classifying on analysis alone.
+	NoSim bool
+	// Shrink delta-debugs interesting outcomes (divergences, mismatches)
+	// down to minimal reproducing instances after the sweep.
+	Shrink bool
+	// MaxShrink caps how many interesting results are shrunk (default 4).
+	MaxShrink int
+	// ScenarioTimeout is the wall-clock budget per scenario; exceeding it
+	// classifies the scenario as OutcomeTimeout (default 30 s).
+	ScenarioTimeout time.Duration
+	// Parallelism sizes the worker pool (default GOMAXPROCS).
+	Parallelism int
+	// Solver decides the generated constraints (default smt.Native).
+	Solver smt.Solver
+	// Runner executes instances (default engine.SimRunner; campaigns want a
+	// simulation backend — deployment runners make runs wall-clock bound).
+	Runner engine.Runner
+}
+
+func (s Spec) withDefaults() Spec {
+	if len(s.Kinds) == 0 {
+		s.Kinds = DefaultKinds()
+	}
+	if s.Count <= 0 {
+		s.Count = 64
+	}
+	if s.BaseSeed == 0 {
+		s.BaseSeed = 1
+	}
+	if s.NumShards <= 1 {
+		s.Shard, s.NumShards = 0, 1
+	}
+	if s.Horizon <= 0 {
+		s.Horizon = 2 * time.Second
+	}
+	if s.MaxShrink <= 0 {
+		s.MaxShrink = 4
+	}
+	if s.ScenarioTimeout <= 0 {
+		s.ScenarioTimeout = 30 * time.Second
+	}
+	if s.Parallelism <= 0 {
+		s.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if s.Solver == nil {
+		s.Solver = smt.Native{}
+	}
+	if s.Runner == nil {
+		s.Runner = engine.SimRunner{}
+	}
+	return s
+}
+
+// Outcome classifies one scenario's analysis-vs-execution result.
+type Outcome int
+
+const (
+	// OutcomeAgreement: the verdict matches the expectation and the
+	// execution is consistent with it (safe converged, or unsafe diverged).
+	OutcomeAgreement Outcome = iota
+	// OutcomeConservative: the analysis said unsafe (strict monotonicity is
+	// sufficient, not necessary) yet the bounded execution converged — the
+	// false-positive class §IV-A accepts (DISAGREE is the canonical case).
+	OutcomeConservative
+	// OutcomeDivergence: the analysis proved safety but the execution did
+	// not converge within the horizon — a soundness violation of the
+	// toolkit itself, always worth shrinking.
+	OutcomeDivergence
+	// OutcomeMismatch: the verdict contradicts the generator's guaranteed
+	// expectation — either a generator bug or a solver bug.
+	OutcomeMismatch
+	// OutcomeTimeout: the scenario exceeded its wall-clock budget.
+	OutcomeTimeout
+	// OutcomeError: generation, conversion, or execution failed.
+	OutcomeError
+)
+
+// String names the outcome class.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAgreement:
+		return "agreement"
+	case OutcomeConservative:
+		return "conservative"
+	case OutcomeDivergence:
+		return "divergence"
+	case OutcomeMismatch:
+		return "mismatch"
+	case OutcomeTimeout:
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+// Interesting reports whether the outcome warrants shrinking and corpus
+// serialization: a genuine analysis-vs-execution disagreement, not an
+// infrastructure failure (timeouts and errors classify separately and are
+// not replayable findings).
+func (o Outcome) Interesting() bool {
+	return o == OutcomeDivergence || o == OutcomeMismatch
+}
+
+// outcomeOrder is every class in display order.
+var outcomeOrder = []Outcome{
+	OutcomeAgreement, OutcomeConservative, OutcomeDivergence,
+	OutcomeMismatch, OutcomeTimeout, OutcomeError,
+}
+
+// classify maps one scenario's observations to its outcome class.
+func classify(expected Expectation, sat, simRan, converged bool) Outcome {
+	if expected == ExpectSafe && !sat || expected == ExpectUnsafe && sat {
+		return OutcomeMismatch
+	}
+	if simRan {
+		if sat && !converged {
+			return OutcomeDivergence
+		}
+		if !sat && converged {
+			return OutcomeConservative
+		}
+	}
+	return OutcomeAgreement
+}
+
+// Result is one scenario's campaign record.
+type Result struct {
+	// Index is the scenario's global index in the campaign's seed range.
+	Index int
+	Kind  Kind
+	Seed  int64
+	// Expected is the generator's guaranteed verdict.
+	Expected Expectation
+	// Sat is the strict-monotonicity verdict (true = proven safe).
+	Sat bool
+	// SimRan / Converged / SimTime describe the bounded execution.
+	SimRan    bool
+	Converged bool
+	SimTime   time.Duration
+	// Nodes is the instance size, for shrink-progress reporting.
+	Nodes   int
+	Outcome Outcome
+	Note    string
+	Err     string
+}
+
+// String renders one line of the campaign report.
+func (r Result) String() string {
+	verdict := "unsafe"
+	if r.Sat {
+		verdict = "safe"
+	}
+	sim := "sim skipped"
+	if r.SimRan {
+		if r.Converged {
+			sim = fmt.Sprintf("converged %v", r.SimTime)
+		} else {
+			sim = "no convergence"
+		}
+	}
+	s := fmt.Sprintf("#%d %s seed %d [%d nodes]: expected %s, verdict %s, %s → %s",
+		r.Index, r.Kind, r.Seed, r.Nodes, r.Expected, verdict, sim, r.Outcome)
+	if r.Err != "" {
+		s += " (" + r.Err + ")"
+	}
+	return s
+}
+
+// Shrunk is one minimized counterexample.
+type Shrunk struct {
+	// Index is the originating Result's global index.
+	Index int
+	// Tries counts candidate evaluations the shrinker spent.
+	Tries int
+	// Instance is the minimal reproducing instance.
+	Instance *spp.Instance
+}
+
+// Report is the outcome of one campaign.
+type Report struct {
+	// Kinds, Count, BaseSeed, Shard, NumShards, Horizon, and NoSim echo
+	// the normalized spec (Horizon and NoSim are recorded into corpus
+	// entries so replays re-create the observation conditions).
+	Kinds            []Kind
+	Count            int
+	BaseSeed         int64
+	Shard, NumShards int
+	Horizon          time.Duration
+	NoSim            bool
+	// Results holds one record per scenario of this shard, in index order.
+	Results []Result
+	// Shrunk holds the minimized counterexamples when shrinking ran.
+	Shrunk []Shrunk
+}
+
+// Tally counts results per outcome class.
+func (r *Report) Tally() map[Outcome]int {
+	t := map[Outcome]int{}
+	for _, res := range r.Results {
+		t[res.Outcome]++
+	}
+	return t
+}
+
+// Interesting returns the results worth human attention, in index order.
+func (r *Report) Interesting() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if res.Outcome.Interesting() {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// String renders the campaign summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	kinds := make([]string, len(r.Kinds))
+	for i, k := range r.Kinds {
+		kinds[i] = string(k)
+	}
+	fmt.Fprintf(&b, "campaign: %d scenario(s), kinds [%s], base seed %d, shard %d/%d\n",
+		len(r.Results), strings.Join(kinds, " "), r.BaseSeed, r.Shard, r.NumShards)
+	tally := r.Tally()
+	for _, o := range outcomeOrder {
+		if n := tally[o]; n > 0 {
+			fmt.Fprintf(&b, "  %-12s %d\n", o, n)
+		}
+	}
+	for _, res := range r.Results {
+		// Findings and infrastructure failures both deserve a detail line.
+		if res.Outcome.Interesting() || res.Outcome == OutcomeTimeout || res.Outcome == OutcomeError {
+			b.WriteString("  ! " + res.String() + "\n")
+		}
+	}
+	for _, sh := range r.Shrunk {
+		fmt.Fprintf(&b, "  shrunk #%d to %d node(s) in %d tries\n",
+			sh.Index, len(sh.Instance.Nodes), sh.Tries)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// evaluate runs the differential pipeline on one instance: §III-B
+// conversion, strict-monotonicity analysis, and (unless NoSim) a bounded
+// execution on the spec's runner. simSeed keys the execution's
+// deterministic randomness.
+func evaluate(ctx context.Context, in *spp.Instance, spec Spec, simSeed int64) (sat, simRan, converged bool, simTime time.Duration, err error) {
+	conv, err := in.ToAlgebra()
+	if err != nil {
+		return false, false, false, 0, err
+	}
+	res, err := analysis.CheckWith(ctx, conv.Algebra, analysis.StrictMonotonicity, spec.Solver)
+	if err != nil {
+		return false, false, false, 0, err
+	}
+	sat = res.Sat
+	if spec.NoSim {
+		return sat, false, false, 0, nil
+	}
+	if simSeed == 0 {
+		simSeed = 1
+	}
+	rep, err := spec.Runner.Run(ctx, conv, engine.RunOptions{Seed: simSeed, Horizon: spec.Horizon})
+	if err != nil {
+		return sat, false, false, 0, err
+	}
+	return sat, true, rep.Converged, rep.Time, nil
+}
+
+// runOne generates and evaluates the scenario at one global index.
+func runOne(ctx context.Context, spec Spec, index int) Result {
+	kind := spec.Kinds[index%len(spec.Kinds)]
+	seed := spec.BaseSeed + int64(index)
+	res := Result{Index: index, Kind: kind, Seed: seed}
+	sctx, cancel := context.WithTimeout(ctx, spec.ScenarioTimeout)
+	defer cancel()
+	sc, err := Generate(kind, seed)
+	if err != nil {
+		res.Outcome, res.Err = OutcomeError, err.Error()
+		return res
+	}
+	res.Expected, res.Note, res.Nodes = sc.Expected, sc.Note, len(sc.Instance.Nodes)
+	sat, simRan, converged, simTime, err := evaluate(sctx, sc.Instance, spec, seed)
+	if err != nil {
+		if ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+			res.Outcome = OutcomeTimeout
+		} else {
+			res.Outcome = OutcomeError
+		}
+		res.Err = err.Error()
+		return res
+	}
+	res.Sat, res.SimRan, res.Converged, res.SimTime = sat, simRan, converged, simTime
+	res.Outcome = classify(sc.Expected, sat, simRan, converged)
+	return res
+}
+
+// Run executes a campaign: the shard's scenarios are claimed by a worker
+// pool through an atomic index (the AnalyzeAll pattern), evaluated, and
+// classified; when spec.Shrink is set, interesting outcomes are then
+// delta-debugged to minimal reproducers. Scenario-level failures are
+// recorded as OutcomeError results, not returned; only context
+// cancellation aborts the campaign.
+func Run(ctx context.Context, spec Spec) (*Report, error) {
+	spec = spec.withDefaults()
+	lo := spec.Shard * spec.Count / spec.NumShards
+	hi := (spec.Shard + 1) * spec.Count / spec.NumShards
+	if spec.Shard < 0 || spec.Shard >= spec.NumShards {
+		return nil, fmt.Errorf("scenario: shard %d out of range 0..%d", spec.Shard, spec.NumShards-1)
+	}
+	rep := &Report{
+		Kinds:     spec.Kinds,
+		Count:     spec.Count,
+		BaseSeed:  spec.BaseSeed,
+		Shard:     spec.Shard,
+		NumShards: spec.NumShards,
+		Horizon:   spec.Horizon,
+		NoSim:     spec.NoSim,
+		Results:   make([]Result, hi-lo),
+	}
+	workers := spec.Parallelism
+	if workers > len(rep.Results) {
+		workers = len(rep.Results)
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(rep.Results) || ctx.Err() != nil {
+					return
+				}
+				rep.Results[i] = runOne(ctx, spec, lo+i)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if spec.Shrink {
+		if err := shrinkInteresting(ctx, spec, rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// shrinkInteresting minimizes up to spec.MaxShrink interesting results,
+// regenerating each instance from its (kind, seed) and preserving the
+// observed (verdict, convergence) pair through every reduction step.
+func shrinkInteresting(ctx context.Context, spec Spec, rep *Report) error {
+	shrunk := 0
+	for _, res := range rep.Results {
+		if !res.Outcome.Interesting() {
+			continue
+		}
+		if shrunk >= spec.MaxShrink {
+			break
+		}
+		sc, err := Generate(res.Kind, res.Seed)
+		if err != nil {
+			continue // already recorded as the result's classification
+		}
+		want := res
+		keep := func(kctx context.Context, cand *spp.Instance) (bool, error) {
+			// Candidates get the same per-scenario budget as the sweep, so one
+			// pathological mutation cannot hang the whole campaign.
+			tctx, cancel := context.WithTimeout(kctx, spec.ScenarioTimeout)
+			defer cancel()
+			sat, _, converged, _, err := evaluate(tctx, cand, spec, want.Seed)
+			if err != nil {
+				return false, nil // a candidate that fails (or times out) is not a reproducer
+			}
+			return sat == want.Sat && converged == want.Converged, nil
+		}
+		min, tries, err := Shrink(ctx, sc.Instance, keep)
+		if err != nil {
+			return err
+		}
+		rep.Shrunk = append(rep.Shrunk, Shrunk{Index: res.Index, Tries: tries, Instance: min})
+		shrunk++
+	}
+	sort.Slice(rep.Shrunk, func(i, j int) bool { return rep.Shrunk[i].Index < rep.Shrunk[j].Index })
+	return nil
+}

@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+)
+
+// stripTimes zeroes the wall-clock-dependent fields so campaign runs can
+// be compared for semantic equality.
+func stripTimes(results []Result) []Result {
+	out := append([]Result(nil), results...)
+	for i := range out {
+		out[i].SimTime = 0
+	}
+	return out
+}
+
+// TestCampaignThousandDeterministic is the acceptance-scale campaign: a
+// seeded 1,000-scenario run over the mixed default kinds, executed twice,
+// must classify identically both times; every injected violation must be
+// flagged unsafe, every violation-free scenario proven safe and converged,
+// and no scenario may land in the divergence/mismatch/timeout/error
+// classes.
+func TestCampaignThousandDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-scenario campaign skipped in -short mode")
+	}
+	ctx := context.Background()
+	spec := Spec{Count: 1000, BaseSeed: 1}
+	first, err := Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Results) != 1000 || len(second.Results) != 1000 {
+		t.Fatalf("result counts %d, %d", len(first.Results), len(second.Results))
+	}
+	a, b := stripTimes(first.Results), stripTimes(second.Results)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("classification differs at #%d:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	tally := first.Tally()
+	t.Logf("tally: %v", tally)
+	if n := tally[OutcomeDivergence] + tally[OutcomeMismatch] + tally[OutcomeTimeout] + tally[OutcomeError]; n != 0 {
+		for _, r := range first.Interesting() {
+			t.Errorf("interesting: %s", r)
+		}
+		t.Fatalf("%d scenario(s) in failure classes", n)
+	}
+	for _, r := range first.Results {
+		switch r.Expected {
+		case ExpectUnsafe:
+			if r.Sat {
+				t.Errorf("injected violation not flagged: %s", r)
+			}
+		case ExpectSafe:
+			if !r.Sat || !r.Converged {
+				t.Errorf("violation-free scenario not proven safe and converged: %s", r)
+			}
+		}
+	}
+}
+
+// TestCampaignShardsPartition: sharding a campaign yields exactly the
+// whole-range results, split contiguously — the property that makes
+// seed-range sharding across processes sound.
+func TestCampaignShardsPartition(t *testing.T) {
+	ctx := context.Background()
+	whole, err := Run(ctx, Spec{Count: 30, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged []Result
+	for shard := 0; shard < 3; shard++ {
+		part, err := Run(ctx, Spec{Count: 30, BaseSeed: 7, Shard: shard, NumShards: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged = append(merged, part.Results...)
+	}
+	a, b := stripTimes(whole.Results), stripTimes(merged)
+	if len(a) != len(b) {
+		t.Fatalf("whole %d vs merged %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard partition differs at #%d:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	if _, err := Run(ctx, Spec{Count: 30, Shard: 3, NumShards: 3}); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+}
+
+// TestCampaignNoSim: analysis-only campaigns classify on the verdict alone
+// and never report execution-dependent classes.
+func TestCampaignNoSim(t *testing.T) {
+	rep, err := Run(context.Background(), Spec{Count: 12, NoSim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.SimRan {
+			t.Errorf("#%d ran a simulation under NoSim", r.Index)
+		}
+		if r.Outcome == OutcomeDivergence || r.Outcome == OutcomeConservative {
+			t.Errorf("#%d: execution-dependent outcome %s without execution", r.Index, r.Outcome)
+		}
+	}
+}
+
+// TestCampaignCancellation: a cancelled context aborts the sweep.
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Spec{Count: 50}); err == nil {
+		t.Error("cancelled campaign returned no error")
+	}
+}
+
+// TestClassify: the outcome table, case by case.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		exp                    Expectation
+		sat, simRan, converged bool
+		want                   Outcome
+	}{
+		{ExpectSafe, true, true, true, OutcomeAgreement},
+		{ExpectSafe, true, true, false, OutcomeDivergence},
+		{ExpectSafe, false, true, false, OutcomeMismatch},
+		{ExpectUnsafe, false, true, false, OutcomeAgreement},
+		{ExpectUnsafe, false, true, true, OutcomeConservative},
+		{ExpectUnsafe, true, true, true, OutcomeMismatch},
+		{ExpectAny, true, true, false, OutcomeDivergence},
+		{ExpectAny, false, true, true, OutcomeConservative},
+		{ExpectAny, true, false, false, OutcomeAgreement},
+	}
+	for _, c := range cases {
+		if got := classify(c.exp, c.sat, c.simRan, c.converged); got != c.want {
+			t.Errorf("classify(%v, sat=%v, sim=%v, conv=%v) = %v, want %v",
+				c.exp, c.sat, c.simRan, c.converged, got, c.want)
+		}
+	}
+}

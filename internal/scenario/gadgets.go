@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"fsr/internal/spp"
+)
+
+// Gadget-splice generation: randomized composition of the classic gadget
+// cores (Chain, GOODGADGET, BADGADGET, DISAGREE, Figure 3) into larger
+// graphs through glue nodes.
+//
+// The expected verdict is decidable by construction:
+//
+//   - splicing a dispute core (BADGADGET, DISAGREE, Figure 3) keeps the
+//     composition unsafe, because the core's rankings and links are merged
+//     verbatim, so its unsatisfiable constraint subset reappears in the
+//     composed conversion and unsat survives supersets;
+//   - a composition of safe cores stays safe: each glue node carries its
+//     own origination ranked first plus at most one extension of an
+//     existing permitted path, so a satisfying assignment extends any
+//     model of the cores by value(glue direct) = min and
+//     value(extension) = value(extended path) + 1.
+//
+// Glue nodes therefore never hold two extension paths — ranking two
+// extensions against each other could contradict the cores' models.
+
+// coreBuilders enumerates the splicable cores; the bad ones embed a
+// dispute cycle.
+var coreBuilders = []struct {
+	name string
+	bad  bool
+	make func(rng *rand.Rand) *spp.Instance
+}{
+	{"chain", false, func(rng *rand.Rand) *spp.Instance { return spp.ChainGadget(2 + rng.Intn(3)) }},
+	{"goodgadget", false, func(*rand.Rand) *spp.Instance { return spp.GoodGadget() }},
+	{"badgadget", true, func(*rand.Rand) *spp.Instance { return spp.BadGadget() }},
+	{"disagree", true, func(*rand.Rand) *spp.Instance { return spp.Disagree() }},
+	{"fig3", true, func(*rand.Rand) *spp.Instance { return spp.Figure3IBGP() }},
+}
+
+// safeCoreIdx / badCoreIdx index coreBuilders by class for biased picks.
+var safeCoreIdx, badCoreIdx = func() (safe, bad []int) {
+	for i, c := range coreBuilders {
+		if c.bad {
+			bad = append(bad, i)
+		} else {
+			safe = append(safe, i)
+		}
+	}
+	return
+}()
+
+// merge splices src into dst under the names it already carries; callers
+// rename cores first so namespaces stay disjoint.
+func merge(dst, src *spp.Instance) {
+	for _, n := range src.Nodes {
+		dst.AddNode(n)
+	}
+	for _, o := range src.Origins {
+		dst.AddOrigin(o)
+	}
+	dst.Links = append(dst.Links, src.Links...)
+	for l, c := range src.Cost {
+		dst.Cost[l] = c
+	}
+	for _, n := range src.Nodes {
+		if ps, ok := src.Permitted[n]; ok {
+			dst.Permitted[n] = ps
+		}
+	}
+}
+
+// composeGadgets builds a spliced instance. When forceBad is set, at least
+// one dispute core is always included; otherwise cores are drawn uniformly.
+// Returns the instance, whether a dispute core was spliced, and a
+// human-readable construction note.
+func composeGadgets(name string, rng *rand.Rand, forceBad bool) (*spp.Instance, bool, string) {
+	in := spp.NewInstance(name)
+	nCores := 1 + rng.Intn(3)
+	bad := false
+	var parts []string
+	for i := 0; i < nCores; i++ {
+		var idx int
+		if forceBad && i == 0 {
+			idx = badCoreIdx[rng.Intn(len(badCoreIdx))]
+		} else {
+			idx = rng.Intn(len(coreBuilders))
+		}
+		core := coreBuilders[idx]
+		bad = bad || core.bad
+		prefix := "c" + strconv.Itoa(i)
+		renamed := core.make(rng).Rename(name, func(n spp.Node) spp.Node {
+			return spp.Node(prefix + string(n))
+		})
+		merge(in, renamed)
+		parts = append(parts, core.name)
+	}
+	// Glue: each glue node gets its own origination (ranked first) and one
+	// extension of a random existing permitted path — the at-most-one-
+	// extension rule that keeps safe compositions provably safe.
+	nGlue := 1 + rng.Intn(4)
+	for j := 0; j < nGlue; j++ {
+		var hosts []spp.Node
+		for _, n := range in.Nodes {
+			if len(in.Permitted[n]) > 0 {
+				hosts = append(hosts, n)
+			}
+		}
+		host := hosts[rng.Intn(len(hosts))]
+		ext := in.Permitted[host][rng.Intn(len(in.Permitted[host]))]
+		g := spp.Node("g" + strconv.Itoa(j))
+		in.AddSession(g, host, 0)
+		direct := spp.Path{g, spp.Node("rg" + strconv.Itoa(j))}
+		via := append(spp.Path{g}, ext...)
+		in.Rank(g, direct, via)
+	}
+	note := fmt.Sprintf("cores [%s], %d glue node(s)", strings.Join(parts, " "), nGlue)
+	return in, bad, note
+}
+
+// genGadgetSplice implements the gadget-splice kind.
+func genGadgetSplice(seed int64) (*Scenario, error) {
+	rng := rand.New(rand.NewSource(seed))
+	in, bad, note := composeGadgets(fmt.Sprintf("gadget-splice-%d", seed), rng, false)
+	exp := ExpectSafe
+	if bad {
+		exp = ExpectUnsafe
+	}
+	return &Scenario{Kind: GadgetSplice, Seed: seed, Expected: exp, Note: note, Instance: in}, nil
+}
+
+// genDivergentFixture implements the divergent-fixture kind: a spliced
+// composition that always embeds a dispute core but is deliberately
+// mislabeled safe. Campaigns over this kind must classify every scenario
+// as OutcomeMismatch (the verdict contradicts the recorded expectation),
+// making it the end-to-end self-test for the flag → shrink → corpus
+// pipeline.
+func genDivergentFixture(seed int64) (*Scenario, error) {
+	rng := rand.New(rand.NewSource(seed))
+	in, _, note := composeGadgets(fmt.Sprintf("divergent-%d", seed), rng, true)
+	return &Scenario{
+		Kind:     DivergentFixture,
+		Seed:     seed,
+		Expected: ExpectSafe, // deliberately wrong: the instance embeds a dispute core
+		Note:     "deliberately mislabeled safe; " + note,
+		Instance: in,
+	}, nil
+}

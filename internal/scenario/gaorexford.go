@@ -1,0 +1,185 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fsr/internal/spp"
+	"fsr/internal/topology"
+)
+
+// Gao-Rexford generation: a seeded AS hierarchy from
+// topology.GenerateHierarchy becomes an SPP instance whose permitted paths
+// are exactly the valley-free (export-legal) paths to a single destination
+// AS, ranked customer ≺ peer ≺ provider with shorter-first tie-breaking —
+// the paper's guideline A ⊗ hop count expressed as a concrete instance.
+//
+// Violation-free instances are provably safe: assign each permitted path
+// the value A·class + B·len + tie (class ∈ {0,1,2} from the owner's
+// perspective, tie the index among equals in the owner's ranking, A ≫ B ≫
+// ties). Valley-freeness gives class(u·p) ≥ class(p) for every permitted
+// extension, so monotonicity is strict, and each ranking is strictly
+// increasing in the assignment. Injected instances plant a dispute cycle
+// (injectDisputePair / injectDisputeTriangle), so they are unsat by the
+// subset argument.
+
+const (
+	grMaxHops  = 5 // real nodes per permitted path
+	grMaxPaths = 4 // permitted paths kept per node
+)
+
+// valleyFree enumerates the valley-free simple paths from u to dest, walking
+// up (customer→provider) any number of hops, then at most one peer hop,
+// then down. Class is evaluated hop by hop from the traversing node's
+// perspective, which is exactly the Gao-Rexford export rule: peer- and
+// provider-learned routes are only exported downhill.
+func valleyFree(class map[[2]string]string, adj map[string][]string, u, dest string) []spp.Path {
+	var found []spp.Path
+	trail := []string{u}
+	on := map[string]bool{u: true}
+	var dfs func(cur string, canUp, canPeer bool)
+	dfs = func(cur string, canUp, canPeer bool) {
+		if cur == dest {
+			p := make(spp.Path, 0, len(trail)+1)
+			for _, n := range trail {
+				p = append(p, spp.Node(n))
+			}
+			found = append(found, append(p, "r1"))
+			return
+		}
+		if len(trail) >= grMaxHops {
+			return
+		}
+		for _, nb := range adj[cur] {
+			if on[nb] {
+				continue
+			}
+			nextUp, nextPeer, ok := false, false, false
+			switch class[[2]string{cur, nb}] {
+			case "c": // downhill: always legal, and locks the path downhill
+				ok = true
+			case "r":
+				ok, nextUp, nextPeer = canPeer, false, false
+			case "p": // uphill: legal only before the peak
+				ok, nextUp, nextPeer = canUp, true, true
+			}
+			if !ok {
+				continue
+			}
+			trail = append(trail, nb)
+			on[nb] = true
+			dfs(nb, nextUp, nextPeer)
+			on[nb] = false
+			trail = trail[:len(trail)-1]
+		}
+	}
+	dfs(u, true, true)
+	return found
+}
+
+// grClass ranks the path's first hop from the owner's perspective:
+// customer route 0, peer route 1, provider route 2.
+func grClass(class map[[2]string]string, p spp.Path) int {
+	switch class[[2]string{string(p[0]), string(p[1])}] {
+	case "c":
+		return 0
+	case "r":
+		return 1
+	default:
+		return 2
+	}
+}
+
+// findTriangle returns the lexicographically first 3-cycle of the graph,
+// for triangle-flavored violation injection.
+func findTriangle(adj map[string][]string) (a, b, c string, ok bool) {
+	isAdj := map[[2]string]bool{}
+	var nodes []string
+	for n, nbs := range adj {
+		nodes = append(nodes, n)
+		for _, m := range nbs {
+			isAdj[[2]string{n, m}] = true
+		}
+	}
+	sort.Strings(nodes)
+	for _, u := range nodes {
+		for _, v := range adj[u] {
+			if v <= u {
+				continue
+			}
+			for _, w := range adj[v] {
+				if w <= v {
+					continue
+				}
+				if isAdj[[2]string{u, w}] {
+					return u, v, w, true
+				}
+			}
+		}
+	}
+	return "", "", "", false
+}
+
+// genGaoRexford implements the gao-rexford kind.
+func genGaoRexford(seed int64) (*Scenario, error) {
+	rng := rand.New(rand.NewSource(seed))
+	depth := 2 + rng.Intn(3)
+	g := topology.GenerateHierarchy(seed, topology.HierarchyParams{Depth: depth, Width: 3})
+	dest := fmt.Sprintf("as%d_0", depth)
+
+	in := spp.NewInstance(fmt.Sprintf("gao-rexford-%d", seed))
+	for _, n := range g.Nodes {
+		in.AddNode(spp.Node(n))
+	}
+	for _, e := range g.Edges {
+		in.AddSession(spp.Node(e.A), spp.Node(e.B), 0)
+	}
+	adj := g.Adjacency()
+	class := g.ClassMap()
+	for _, u := range g.Nodes {
+		if u == dest {
+			continue
+		}
+		paths := valleyFree(class, adj, u, dest)
+		sort.Slice(paths, func(i, j int) bool {
+			ci, cj := grClass(class, paths[i]), grClass(class, paths[j])
+			if ci != cj {
+				return ci < cj
+			}
+			if len(paths[i]) != len(paths[j]) {
+				return len(paths[i]) < len(paths[j])
+			}
+			return paths[i].Key() < paths[j].Key()
+		})
+		if len(paths) > grMaxPaths {
+			paths = paths[:grMaxPaths]
+		}
+		if len(paths) > 0 {
+			in.Rank(spp.Node(u), paths...)
+		}
+	}
+	in.Rank(spp.Node(dest), spp.P(dest, "r1"))
+
+	sc := &Scenario{Kind: GaoRexford, Seed: seed, Expected: ExpectSafe, Instance: in}
+	sc.Note = fmt.Sprintf("hierarchy depth %d, %d ASes, dest %s", depth, len(g.Nodes), dest)
+	if rng.Intn(2) == 1 {
+		sc.Expected = ExpectUnsafe
+		if u, v, w, ok := findTriangle(adj); ok && rng.Intn(2) == 0 {
+			injectDisputeTriangle(in, spp.Node(u), spp.Node(v), spp.Node(w))
+			flavor := "preference-cycle"
+			for _, pair := range [][2]string{{u, v}, {v, w}, {u, w}} {
+				if class[pair] == "r" {
+					flavor = "peering-leak"
+					break
+				}
+			}
+			sc.Note += fmt.Sprintf("; injected %s dispute triangle %s-%s-%s", flavor, u, v, w)
+		} else {
+			e := g.Edges[rng.Intn(len(g.Edges))]
+			injectDisputePair(in, spp.Node(e.A), spp.Node(e.B))
+			sc.Note += fmt.Sprintf("; injected preference-inversion dispute pair %s-%s", e.A, e.B)
+		}
+	}
+	return sc, nil
+}

@@ -1,0 +1,35 @@
+package scenario
+
+import "fsr/internal/spp"
+
+// Violation injection. Both injectors plant a genuine dispute cycle — not
+// merely a policy-guideline violation, which may still converge — so a
+// generator that injects one can guarantee ExpectUnsafe: the planted
+// preference cycle contributes an unsatisfiable constraint subset to the
+// §III-B conversion, and unsatisfiability survives any superset of
+// constraints.
+
+// injectDisputePair overrides the rankings of the adjacent nodes u and v
+// with the two-node DISAGREE preference cycle over fresh origin tokens:
+// each prefers the route through the other over its own externally learned
+// route. The generated constraints (two strict preferences plus two
+// strict-monotonicity edges) form a cycle, so the analysis is unsat no
+// matter what the rest of the instance looks like.
+func injectDisputePair(in *spp.Instance, u, v spp.Node) {
+	ou, ov := spp.Node("rx_"+string(u)), spp.Node("rx_"+string(v))
+	in.Rank(u, spp.Path{u, v, ov}, spp.Path{u, ou})
+	in.Rank(v, spp.Path{v, u, ou}, spp.Path{v, ov})
+}
+
+// injectDisputeTriangle overrides the rankings of the pairwise-adjacent
+// nodes u, v, w with the three-node BADGADGET cycle: each prefers the route
+// through its clockwise neighbor over its own externally learned route.
+// Unlike the pair (which has two stable states and merely *may* oscillate),
+// the triangle has no stable assignment at all, so executions oscillate to
+// the horizon.
+func injectDisputeTriangle(in *spp.Instance, u, v, w spp.Node) {
+	ou, ov, ow := spp.Node("rx_"+string(u)), spp.Node("rx_"+string(v)), spp.Node("rx_"+string(w))
+	in.Rank(u, spp.Path{u, v, ov}, spp.Path{u, ou})
+	in.Rank(v, spp.Path{v, w, ow}, spp.Path{v, ov})
+	in.Rank(w, spp.Path{w, u, ou}, spp.Path{w, ow})
+}

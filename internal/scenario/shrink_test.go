@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"fsr/internal/spp"
+)
+
+// TestShrinkDivergentFixture is the end-to-end counterexample pipeline: a
+// campaign over deliberately mislabeled fixtures flags every scenario,
+// shrinks each to a minimal instance of at most 6 nodes (the Figure 3
+// core; pure BADGADGET compositions reduce to 3), and the resulting
+// corpus replays bit-for-bit.
+func TestShrinkDivergentFixture(t *testing.T) {
+	ctx := context.Background()
+	spec := Spec{Kinds: []Kind{DivergentFixture}, Count: 4, BaseSeed: 1, Shrink: true, MaxShrink: 4}
+	rep, err := Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Tally()[OutcomeMismatch]; got != 4 {
+		t.Fatalf("flagged %d of 4 fixtures:\n%s", got, rep)
+	}
+	if len(rep.Shrunk) != 4 {
+		t.Fatalf("shrunk %d of 4 fixtures", len(rep.Shrunk))
+	}
+	for _, sh := range rep.Shrunk {
+		orig, err := Generate(DivergentFixture, rep.Results[sh.Index].Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sh.Instance.Nodes) > 6 {
+			t.Errorf("#%d shrunk to %d nodes, want ≤ 6", sh.Index, len(sh.Instance.Nodes))
+		}
+		if len(sh.Instance.Nodes) >= len(orig.Instance.Nodes) {
+			t.Errorf("#%d: no reduction (%d → %d nodes)", sh.Index,
+				len(orig.Instance.Nodes), len(sh.Instance.Nodes))
+		}
+		if err := sh.Instance.Validate(); err != nil {
+			t.Errorf("#%d: shrunk instance invalid: %v", sh.Index, err)
+		}
+		// The minimal instance still reproduces: unsat and non-converged.
+		sat, _, converged, _, err := evaluate(ctx, sh.Instance, spec.withDefaults(), rep.Results[sh.Index].Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sat || converged {
+			t.Errorf("#%d: shrunk instance lost the behavior (sat=%v converged=%v)", sh.Index, sat, converged)
+		}
+	}
+
+	// Corpus round trip and replay.
+	entries, err := rep.CorpusEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("corpus has %d entries", len(entries))
+	}
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCorpus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(entries, back) {
+		t.Fatal("corpus round trip differs")
+	}
+	replayed, err := Replay(ctx, back, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range replayed {
+		if !rr.Reproduced {
+			t.Errorf("corpus entry did not reproduce: %s", rr)
+		}
+		if !rr.Entry.Shrunk {
+			t.Errorf("corpus entry not marked shrunk: %s", rr)
+		}
+	}
+}
+
+// TestShrinkToCore: shrinking a BADGADGET buried in glue under the plain
+// "analysis still unsat" predicate recovers exactly the 3-node core.
+func TestShrinkToCore(t *testing.T) {
+	ctx := context.Background()
+	sc, err := Generate(DivergentFixture, 2) // seed 2: badgadget cores + glue (see determinism test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{NoSim: true}.withDefaults()
+	keep := func(kctx context.Context, cand *spp.Instance) (bool, error) {
+		sat, _, _, _, err := evaluate(kctx, cand, spec, 1)
+		if err != nil {
+			return false, nil
+		}
+		return !sat, nil
+	}
+	min, tries, err := Shrink(ctx, sc.Instance, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Nodes) != 3 {
+		t.Fatalf("minimal unsat instance has %d nodes %v, want the 3-node core (%d tries)",
+			len(min.Nodes), min.Nodes, tries)
+	}
+	// 1-minimality: removing anything else breaks the behavior.
+	for _, n := range min.Nodes {
+		if ok, _ := keep(ctx, min.RemoveNode(n)); ok {
+			t.Errorf("not minimal: node %s still removable", n)
+		}
+	}
+	for _, paths := range min.Permitted {
+		if len(paths) != 2 {
+			t.Errorf("core ranking has %d paths, want 2", len(paths))
+		}
+	}
+}
+
+// TestInstanceCodec: the corpus wire form preserves instances exactly,
+// including node order (which fixes the solver input).
+func TestInstanceCodec(t *testing.T) {
+	for _, kind := range Kinds() {
+		sc, err := Generate(kind, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeInstance(EncodeInstance(sc.Instance))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", kind, err)
+		}
+		if !reflect.DeepEqual(normalize(sc.Instance), normalize(back)) {
+			t.Errorf("%s: instance round trip differs", kind)
+		}
+	}
+}
+
+// normalize strips empty-but-non-nil map entries so DeepEqual compares
+// structure, not allocation history.
+func normalize(in *spp.Instance) *spp.Instance {
+	out := in.Clone()
+	for n, paths := range out.Permitted {
+		if len(paths) == 0 {
+			delete(out.Permitted, n)
+		}
+	}
+	return out
+}

@@ -1,5 +1,7 @@
 package spp
 
+import "strconv"
+
 // This file holds the concrete SPP instances the paper analyzes: the
 // six-node iBGP configuration of Figure 3 (after Flavel & Roughan) and the
 // classic eBGP gadgets of Griffin, Shepherd and Wilfong used in §VI-C.
@@ -104,7 +106,7 @@ func ChainGadget(n int) *Instance {
 		n = 2
 	}
 	name := func(i int) Node { return Node(nodeLabel(i)) }
-	orig := func(i int) Node { return Node("r" + itoa(i)) }
+	orig := func(i int) Node { return Node("r" + strconv.Itoa(i)) }
 	for i := 0; i < n-1; i++ {
 		in.AddSession(name(i), name(i+1), 0)
 	}
@@ -121,26 +123,4 @@ func ChainGadget(n int) *Instance {
 }
 
 // nodeLabel yields stable single-token node names n0, n1, ….
-func nodeLabel(i int) string { return "n" + itoa(i) }
-
-func itoa(i int) string {
-	if i == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	pos := len(buf)
-	neg := i < 0
-	if neg {
-		i = -i
-	}
-	for i > 0 {
-		pos--
-		buf[pos] = byte('0' + i%10)
-		i /= 10
-	}
-	if neg {
-		pos--
-		buf[pos] = '-'
-	}
-	return string(buf[pos:])
-}
+func nodeLabel(i int) string { return "n" + strconv.Itoa(i) }

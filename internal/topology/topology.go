@@ -142,6 +142,29 @@ func (g *ASGraph) Class(u, v string) string {
 	return ""
 }
 
+// ClassMap precomputes Class(u, v) for every adjacent pair (first edge
+// wins, matching Class's scan order), for callers that classify edges
+// inside inner loops — Class itself is a linear scan over g.Edges.
+func (g *ASGraph) ClassMap() map[[2]string]string {
+	m := make(map[[2]string]string, 2*len(g.Edges))
+	set := func(u, v, c string) {
+		k := [2]string{u, v}
+		if _, ok := m[k]; !ok {
+			m[k] = c
+		}
+	}
+	for _, e := range g.Edges {
+		if e.Rel == CustomerProvider {
+			set(e.A, e.B, "c")
+			set(e.B, e.A, "p")
+		} else {
+			set(e.A, e.B, "r")
+			set(e.B, e.A, "r")
+		}
+	}
+	return m
+}
+
 // Adjacency returns each node's neighbors in a stable order.
 func (g *ASGraph) Adjacency() map[string][]string {
 	adj := map[string][]string{}

@@ -144,3 +144,112 @@ func TestSessionGraphCoversReflectors(t *testing.T) {
 		}
 	}
 }
+
+// TestISPDeterminism (property): same seed, same router graph — links,
+// weights, and reflector leveling included. The scenario engine's ibgp
+// generator relies on this to regenerate instances from (kind, seed).
+func TestISPDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		p := ISPParams{Routers: 24, Links: 60, Reflectors: 10, Levels: 4}
+		a := GenerateISP(seed, p)
+		b := GenerateISP(seed, p)
+		if len(a.Routers) != len(b.Routers) || len(a.Links) != len(b.Links) {
+			return false
+		}
+		for i := range a.Links {
+			if a.Links[i] != b.Links[i] {
+				return false
+			}
+		}
+		if len(a.ReflectorLevel) != len(b.ReflectorLevel) {
+			return false
+		}
+		for r, lvl := range a.ReflectorLevel {
+			if b.ReflectorLevel[r] != lvl {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClassConsistency (property): over random seeds, Class(u,v) and
+// Class(v,u) are consistent for every adjacent pair — provider/customer
+// edges classify antisymmetrically (c/p), peer edges symmetrically (r/r) —
+// and non-adjacent pairs classify empty both ways.
+func TestClassConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		g := GenerateHierarchy(seed, HierarchyParams{Depth: 4})
+		cm := g.ClassMap()
+		adj := map[[2]string]bool{}
+		for _, e := range g.Edges {
+			adj[[2]string{e.A, e.B}] = true
+			adj[[2]string{e.B, e.A}] = true
+		}
+		for _, u := range g.Nodes {
+			for _, v := range g.Nodes {
+				if u == v {
+					continue
+				}
+				uv, vu := g.Class(u, v), g.Class(v, u)
+				if cm[[2]string{u, v}] != uv || cm[[2]string{v, u}] != vu {
+					return false // precomputed ClassMap must agree with Class
+				}
+				if !adj[[2]string{u, v}] {
+					if uv != "" || vu != "" {
+						return false
+					}
+					continue
+				}
+				switch uv {
+				case "c":
+					if vu != "p" {
+						return false
+					}
+				case "p":
+					if vu != "c" {
+						return false
+					}
+				case "r":
+					if vu != "r" {
+						return false
+					}
+				default:
+					return false // adjacent but unclassified
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHierarchyConnectivity: every generated hierarchy is connected — any
+// AS reaches any other over the annotated edges, so single-destination
+// workloads derived from the graph leave no node stranded.
+func TestHierarchyConnectivity(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		g := GenerateHierarchy(seed, HierarchyParams{Depth: 5})
+		adj := g.Adjacency()
+		seen := map[string]bool{g.Nodes[0]: true}
+		queue := []string{g.Nodes[0]}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, m := range adj[n] {
+				if !seen[m] {
+					seen[m] = true
+					queue = append(queue, m)
+				}
+			}
+		}
+		if len(seen) != len(g.Nodes) {
+			t.Errorf("seed %d: reached %d of %d nodes", seed, len(seen), len(g.Nodes))
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fsr/internal/analysis"
 	"fsr/internal/engine"
 	"fsr/internal/ndlog"
+	"fsr/internal/scenario"
 	"fsr/internal/simnet"
 	"fsr/internal/smt"
 	"fsr/internal/trace"
@@ -227,6 +228,47 @@ func (s *Session) Run(ctx context.Context, in *SPPInstance) (*RunReport, error) 
 		return nil, err
 	}
 	return s.RunConversion(ctx, conv)
+}
+
+// Campaign runs a differential analysis-vs-simulation campaign (the
+// scenario engine): spec.Count procedurally generated scenarios are fanned
+// across the session's worker pool, each one safety-analyzed on the
+// session's solver and executed as a bounded run on the session's runner,
+// and every outcome is classified against the verdict its generator
+// guarantees by construction. Spec fields left zero inherit the session's
+// configuration (solver, runner, parallelism, seed, horizon); with
+// spec.Shrink set, divergences and mismatches are delta-debugged down to
+// minimal replayable instances. Equal specs on equal sessions reproduce
+// identical classifications.
+func (s *Session) Campaign(ctx context.Context, spec CampaignSpec) (*CampaignReport, error) {
+	return scenario.Run(ctx, s.scenarioSpec(spec))
+}
+
+// Replay re-evaluates corpus entries written by an earlier campaign,
+// reporting whether each recorded (verdict, convergence) pair reproduces
+// under the session's backends.
+func (s *Session) Replay(ctx context.Context, entries []CorpusEntry) ([]ReplayResult, error) {
+	return scenario.Replay(ctx, entries, s.scenarioSpec(CampaignSpec{}))
+}
+
+// scenarioSpec fills a campaign spec's zero fields from the session.
+func (s *Session) scenarioSpec(spec CampaignSpec) CampaignSpec {
+	if spec.Solver == nil {
+		spec.Solver = s.solver
+	}
+	if spec.Runner == nil {
+		spec.Runner = s.runner
+	}
+	if spec.Parallelism == 0 {
+		spec.Parallelism = s.parallelism
+	}
+	if spec.BaseSeed == 0 {
+		spec.BaseSeed = s.seed
+	}
+	if spec.Horizon == 0 {
+		spec.Horizon = s.horizon
+	}
+	return spec
 }
 
 // RunConversion is Run for an already converted instance, letting callers

@@ -1,6 +1,7 @@
 package fsr
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -365,5 +366,95 @@ func TestSessionConcurrentUse(t *testing.T) {
 		if err := <-errs; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestSessionCampaign: the public campaign API — a mixed sweep classifies
+// deterministically, inherits the session's backends, and the corpus
+// round-trips through Session.Replay.
+func TestSessionCampaign(t *testing.T) {
+	ctx := context.Background()
+	sess := NewSession(WithSolver(YicesTextSolver()), WithParallelism(4))
+	spec := CampaignSpec{Count: 18, BaseSeed: 3}
+	rep, err := sess.Campaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 18 {
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+	if n := len(rep.Interesting()); n != 0 {
+		t.Fatalf("%d interesting outcomes on honest kinds:\n%s", n, rep)
+	}
+	again, err := sess.Campaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Results {
+		a, b := rep.Results[i], again.Results[i]
+		a.SimTime, b.SimTime = 0, 0
+		if a != b {
+			t.Fatalf("campaign not deterministic at #%d:\n  %s\n  %s", i, a, b)
+		}
+	}
+}
+
+// TestSessionCampaignReplay: a shrunk divergent fixture written to a
+// corpus reproduces through Session.Replay.
+func TestSessionCampaignReplay(t *testing.T) {
+	ctx := context.Background()
+	sess := NewSession()
+	rep, err := sess.Campaign(ctx, CampaignSpec{
+		Kinds: []ScenarioKind{ScenarioDivergentFixture}, Count: 1, Shrink: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Tally()[OutcomeMismatch]; got != 1 {
+		t.Fatalf("fixture not flagged:\n%s", rep)
+	}
+	if len(rep.Shrunk) != 1 || len(rep.Shrunk[0].Instance.Nodes) > 6 {
+		t.Fatalf("fixture not shrunk to ≤ 6 nodes:\n%s", rep)
+	}
+	entries, err := rep.CorpusEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteScenarioCorpus(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScenarioCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := sess.Replay(ctx, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range replayed {
+		if !rr.Reproduced {
+			t.Fatalf("corpus entry did not reproduce: %s", rr)
+		}
+	}
+}
+
+// TestScenarioLookups: the public scenario-kind registry.
+func TestScenarioLookups(t *testing.T) {
+	if len(ScenarioKinds()) < 4 || len(DefaultScenarioKinds()) != 3 {
+		t.Fatalf("kinds = %v, default = %v", ScenarioKinds(), DefaultScenarioKinds())
+	}
+	for _, k := range ScenarioKinds() {
+		got, err := ScenarioKindByName(string(k))
+		if err != nil || got != k {
+			t.Fatalf("ScenarioKindByName(%s) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := ScenarioKindByName("bogus"); err == nil {
+		t.Fatal("bogus kind resolved")
+	}
+	sc, err := GenerateScenario(ScenarioGadgetSplice, 9)
+	if err != nil || sc.Instance == nil || sc.Kind != ScenarioGadgetSplice {
+		t.Fatalf("GenerateScenario: %v, %v", sc, err)
 	}
 }
