@@ -6,12 +6,14 @@
 //
 // Usage:
 //
-//	fsr analyze  [-config FILE | -builtin NAME] [-solver B]   safety analysis
-//	fsr compile  [-config FILE | -builtin NAME]               emit the NDlog program
-//	fsr yices    [-config FILE | -builtin NAME]               emit the solver encoding
-//	fsr run      [-gadget NAME] [-runner B] [-horizon D]      execute a gadget under GPV
+//	fsr analyze  [-config FILE | -builtin NAME | -spp NAME] [-solver B]  safety analysis
+//	fsr compile  [-config FILE | -builtin NAME | -spp NAME]   emit the NDlog program
+//	fsr yices    [-config FILE | -builtin NAME | -spp NAME]   emit the solver encoding
+//	fsr run      [-gadget NAME] [-runner B] [-horizon D] [-batch D]
+//	                                                          execute a gadget under GPV
 //	fsr campaign [-count N] [-seed S] [-kinds K,K] [-shard i/n] [-shrink]
 //	             [-corpus FILE | -replay FILE]                differential campaign
+//	fsr serve    [-addr HOST:PORT] [-check-oracle]            verification-as-a-service daemon
 //	fsr experiment <table1|table2|fig3|fig4|fig5|fig6|vic> [flags]
 //	fsr topo     [-depth N] [-seed S]                         print a generated AS hierarchy
 //
@@ -34,8 +36,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"fsr"
@@ -63,6 +67,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "campaign":
 		err = cmdCampaign(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
 	case "topo":
@@ -93,10 +99,12 @@ commands:
   yices       emit the Yices-syntax solver encoding
   run         execute a gadget instance under GPV
   campaign    differential analysis-vs-simulation campaign over generated scenarios
+  serve       HTTP verification daemon with delta re-verification
   experiment  regenerate a table or figure of the paper
   topo        print a generated AS hierarchy
 
-exit codes: 0 success/safe, 1 unsafety or divergence found, 2 tool error
+exit codes: 0 success/safe, 1 finding (unsafe verdict, campaign
+divergence/mismatch, or a replay that does not reproduce), 2 tool error
 `)
 }
 
@@ -339,6 +347,24 @@ func cmdCampaign(args []string) error {
 		return fmt.Errorf("campaign: %d scenario(s) timed out or errored", n)
 	}
 	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	checkOracle := fs.Bool("check-oracle", false,
+		"differentially validate every delta verification against a full rebuild")
+	quiet := fs.Bool("quiet", false, "suppress per-request logging")
+	fs.Parse(args)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts := fsr.ServeOptions{Addr: *addr, CheckOracle: *checkOracle}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	return fsr.Serve(ctx, opts)
 }
 
 func cmdCompile(args []string) error {

@@ -60,6 +60,7 @@ import (
 	"fsr/internal/config"
 	"fsr/internal/engine"
 	"fsr/internal/ndlog"
+	"fsr/internal/smt"
 	"fsr/internal/spp"
 	"fsr/internal/trace"
 )
@@ -79,6 +80,15 @@ type (
 	SPPConversion = spp.Conversion
 	// SPPNode names a node of an SPP instance.
 	SPPNode = spp.Node
+	// SPPPath is one permitted path of an SPP instance.
+	SPPPath = spp.Path
+	// DeltaVerifier is a resident incremental safety verifier over one SPP
+	// instance: ranking, session, and topology edits re-verify by patching
+	// the standing constraint system instead of rebuilding it.
+	DeltaVerifier = spp.DeltaVerifier
+	// DeltaStats counts how a DeltaVerifier's checks were discharged
+	// (cache hits, delta solves, full rebuilds).
+	DeltaStats = smt.DeltaStats
 	// NDlogProgram is a generated or parsed NDlog program.
 	NDlogProgram = ndlog.Program
 	// RunReport is the uniform outcome of a protocol execution on any

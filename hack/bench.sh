@@ -16,8 +16,10 @@ out="BENCH_${tag}.json"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'Stage|Figure3Analysis|SolverScaling|Campaign' \
-    -benchmem -count "$count" . | tee "$tmp"
+# DeltaVerify/mode=full pays a full n=5000 rebuild per iteration (tens of
+# seconds), so the suite needs headroom beyond go test's default timeout.
+go test -run '^$' -bench 'Stage|Figure3Analysis|SolverScaling|Campaign|DeltaVerify' \
+    -benchmem -count "$count" -timeout 60m . | tee "$tmp"
 
 awk '
 /^Benchmark/ {

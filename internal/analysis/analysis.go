@@ -210,6 +210,13 @@ func newSigVars(sigs []algebra.Sig) (*sigVars, error) {
 
 func (sv *sigVars) term(s algebra.Sig) smt.Term { return smt.Term{Var: sv.vars[s]} }
 
+// VarName exposes step 1's variable naming — the sanitized signature
+// rendering, before collision suffixing — to layers that mirror constraint
+// generation incrementally (the spp delta verifier). Callers are expected
+// to detect rendering collisions themselves and fall back to the full
+// pipeline, where newSigVars applies the suffixes.
+func VarName(rendering string) smt.Var { return smt.Var(sanitize(rendering)) }
+
 func sanitize(s string) string {
 	clean := func(r rune) bool {
 		return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_'

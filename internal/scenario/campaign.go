@@ -344,11 +344,26 @@ func runOne(ctx context.Context, spec Spec, index int) Result {
 // recorded as OutcomeError results, not returned; only context
 // cancellation aborts the campaign.
 func Run(ctx context.Context, spec Spec) (*Report, error) {
+	// Validate the sharding BEFORE withDefaults: the normalization collapses
+	// NumShards ≤ 1 to the whole range, which used to silently absorb
+	// nonsense like shard 3 of 1 (and empty shards ran as vacuous
+	// successes — poison for a fleet that interprets exit 0 as "checked").
+	if spec.NumShards < 0 || spec.Shard < 0 {
+		return nil, fmt.Errorf("scenario: negative shard spec %d/%d", spec.Shard, spec.NumShards)
+	}
+	if spec.NumShards <= 1 {
+		if spec.Shard != 0 {
+			return nil, fmt.Errorf("scenario: shard %d out of range for %d shard(s)", spec.Shard, max(spec.NumShards, 1))
+		}
+	} else if spec.Shard >= spec.NumShards {
+		return nil, fmt.Errorf("scenario: shard %d out of range 0..%d", spec.Shard, spec.NumShards-1)
+	}
 	spec = spec.withDefaults()
 	lo := spec.Shard * spec.Count / spec.NumShards
 	hi := (spec.Shard + 1) * spec.Count / spec.NumShards
-	if spec.Shard < 0 || spec.Shard >= spec.NumShards {
-		return nil, fmt.Errorf("scenario: shard %d out of range 0..%d", spec.Shard, spec.NumShards-1)
+	if lo == hi {
+		return nil, fmt.Errorf("scenario: shard %d/%d is empty for count %d (use at most %d shards)",
+			spec.Shard, spec.NumShards, spec.Count, spec.Count)
 	}
 	rep := &Report{
 		Kinds:     spec.Kinds,

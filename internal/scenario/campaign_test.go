@@ -97,6 +97,44 @@ func TestCampaignShardsPartition(t *testing.T) {
 	}
 }
 
+// TestCampaignShardValidation: malformed shard specs are rejected loudly.
+// Before the raw spec was validated, withDefaults normalized NumShards ≤ 1
+// to the whole range (silently absorbing an out-of-range Shard), and a
+// shard count above Count produced empty shards that "succeeded" with zero
+// scenarios — both turn a misconfigured fleet into vacuous green runs.
+func TestCampaignShardValidation(t *testing.T) {
+	ctx := context.Background()
+	bad := []struct {
+		name string
+		spec Spec
+	}{
+		{"shard at numShards", Spec{Count: 8, Shard: 4, NumShards: 4}},
+		{"shard beyond numShards", Spec{Count: 8, Shard: 9, NumShards: 4}},
+		{"shard with single shard", Spec{Count: 8, Shard: 2, NumShards: 1}},
+		{"shard with zero shards", Spec{Count: 8, Shard: 2}},
+		{"negative shard", Spec{Count: 8, Shard: -1, NumShards: 4}},
+		{"negative numShards", Spec{Count: 8, Shard: 0, NumShards: -2}},
+		{"empty shard range", Spec{Count: 3, Shard: 0, NumShards: 5}},
+	}
+	for _, c := range bad {
+		rep, err := Run(ctx, c.spec)
+		if err == nil {
+			t.Errorf("%s: accepted (%d result(s))", c.name, len(rep.Results))
+		}
+	}
+	// The boundary cases stay valid: last shard of an exact split, and the
+	// whole range under both spellings of "no sharding".
+	for _, spec := range []Spec{
+		{Count: 4, NoSim: true, Shard: 3, NumShards: 4},
+		{Count: 4, NoSim: true, NumShards: 1},
+		{Count: 4, NoSim: true},
+	} {
+		if _, err := Run(ctx, spec); err != nil {
+			t.Errorf("valid spec %d/%d rejected: %v", spec.Shard, spec.NumShards, err)
+		}
+	}
+}
+
 // TestCampaignNoSim: analysis-only campaigns classify on the verdict alone
 // and never report execution-dependent classes.
 func TestCampaignNoSim(t *testing.T) {

@@ -20,50 +20,10 @@ import (
 // Injected scenarios embed a Figure-3-style preference cycle on adjacent
 // routers and are unsat by the subset argument.
 
-// sessionAdj builds the weighted, deterministically ordered adjacency of
-// the iBGP session graph.
-func sessionAdj(sessions []topology.WLink) map[string][]topology.WLink {
-	adj := map[string][]topology.WLink{}
-	for _, l := range sessions {
-		adj[l.A] = append(adj[l.A], l)
-		adj[l.B] = append(adj[l.B], topology.WLink{A: l.B, B: l.A, Weight: l.Weight})
-	}
-	for _, nbs := range adj {
-		sort.Slice(nbs, func(i, j int) bool { return nbs[i].B < nbs[j].B })
-	}
-	return adj
-}
-
-// shortestTree runs a deterministic Dijkstra over the session graph rooted
-// at src, returning distances and the parent pointers of the shortest-path
-// tree (ties broken by router name so equal seeds rebuild equal trees).
-func shortestTree(adj map[string][]topology.WLink, src string) (map[string]int, map[string]string) {
-	const inf = 1 << 30
-	dist := map[string]int{src: 0}
-	parent := map[string]string{}
-	done := map[string]bool{}
-	for {
-		best, bestD := "", inf
-		for n, d := range dist {
-			if !done[n] && (d < bestD || (d == bestD && n < best)) {
-				best, bestD = n, d
-			}
-		}
-		if best == "" {
-			return dist, parent
-		}
-		done[best] = true
-		for _, l := range adj[best] {
-			nd := bestD + l.Weight
-			if d, ok := dist[l.B]; !ok || nd < d || (nd == d && best < parent[l.B]) {
-				dist[l.B] = nd
-				parent[l.B] = best
-			}
-		}
-	}
-}
-
-// genIBGP implements the ibgp kind.
+// genIBGP implements the ibgp kind. The shortest-path trees come from
+// topology.ShortestPathTree (shared with AllPairsIGP), whose name-based
+// tie-breaking keeps equal seeds rebuilding equal instances; the golden
+// test in ibgp_golden_test.go pins the exact outputs.
 func genIBGP(seed int64) (*Scenario, error) {
 	rng := rand.New(rand.NewSource(seed))
 	nr := 10 + rng.Intn(8)
@@ -71,7 +31,7 @@ func genIBGP(seed int64) (*Scenario, error) {
 		Routers: nr, Links: nr * 2, Reflectors: nr/2 + 1, Levels: 3, MaxWeight: 9,
 	})
 	sessions := g.SessionGraph()
-	adj := sessionAdj(sessions)
+	adj := topology.WeightedAdjacency(sessions)
 	var routers []string
 	for r := range adj {
 		routers = append(routers, r)
@@ -111,7 +71,7 @@ func genIBGP(seed int64) (*Scenario, error) {
 	byNode := map[string][]ranked{}
 	for ei, e := range egresses {
 		tok := spp.Node("r" + strconv.Itoa(ei+1))
-		dist, parent := shortestTree(adj, e)
+		dist, parent := topology.ShortestPathTree(adj, e)
 		for _, u := range routers {
 			d, ok := dist[u]
 			if !ok {

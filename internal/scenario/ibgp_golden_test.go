@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+)
+
+// TestIBGPGolden pins the exact genIBGP outputs for a spread of seeds: the
+// canonical-JSON fingerprint of the generated instance plus the expectation
+// and construction note. The literals were captured before the
+// shortest-path tree moved into topology.ShortestPathTree; any drift here
+// means the refactor (or a later change) perturbed experiment outputs,
+// which silently invalidates recorded campaign corpora and BENCH
+// trajectories keyed by seed.
+func TestIBGPGolden(t *testing.T) {
+	golden := []struct {
+		seed     int64
+		expected Expectation
+		note     string
+		hash     string
+	}{
+		{1, ExpectSafe, "11 routers, 20 sessions, 3 egresses",
+			"9e6aa38f7a24746a567ee41ea95cea6ac2d0702b07e7ebf68e6056451939b641"},
+		{2, ExpectSafe, "12 routers, 24 sessions, 2 egresses",
+			"0c4cd6bf944a4b569a7a3c5581d4af1b50e6cbc4db55439fde0de4b4f2b7f5b0"},
+		{3, ExpectUnsafe, "10 routers, 18 sessions, 3 egresses; embedded fig3-style preference cycle rt01-rt05-rt09",
+			"c229f391ce26f6ef3bc0324e240af93316e26b5940391fd41f922c73fe33dae6"},
+		{4, ExpectUnsafe, "15 routers, 29 sessions, 2 egresses; embedded reflector dispute pair rt05-rt14",
+			"359097b8340ffdfa529b89881250e55034bec945d1f0f31f20fd08ccb0080a9e"},
+		{5, ExpectUnsafe, "12 routers, 22 sessions, 2 egresses; embedded fig3-style preference cycle rt00-rt01-rt04",
+			"9a1a14df8f0c46f7491134c99755eb7765193575312c12bce562e6bbfaa93d73"},
+		{6, ExpectUnsafe, "14 routers, 27 sessions, 3 egresses; embedded fig3-style preference cycle rt00-rt05-rt06",
+			"220ce2fc000761bd64cb4947c621039691d9964341d81a84421f0a06b0536e8a"},
+		{7, ExpectSafe, "16 routers, 31 sessions, 2 egresses",
+			"1444d44b30111a2f5de38c5921a3bb1cfa8cf8c0d567a62fce3fb14318e0192b"},
+		{8, ExpectSafe, "9 routers, 19 sessions, 2 egresses",
+			"93973be7b617927cdc3a0c003772b17e964494890631cf93d2fc85ff483f1aef"},
+	}
+	for _, g := range golden {
+		sc, err := genIBGP(g.seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", g.seed, err)
+		}
+		if sc.Expected != g.expected {
+			t.Errorf("seed %d: expectation %s, golden %s", g.seed, sc.Expected, g.expected)
+		}
+		if sc.Note != g.note {
+			t.Errorf("seed %d: note %q, golden %q", g.seed, sc.Note, g.note)
+		}
+		blob, err := json.Marshal(EncodeInstance(sc.Instance))
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", g.seed, err)
+		}
+		sum := sha256.Sum256(blob)
+		if got := hex.EncodeToString(sum[:]); got != g.hash {
+			t.Errorf("seed %d: instance fingerprint %s, golden %s", g.seed, got, g.hash)
+		}
+	}
+}

@@ -1,0 +1,511 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fsr/internal/analysis"
+	"fsr/internal/scenario"
+	"fsr/internal/spp"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Gadget resolves built-in instance names in POST /v1/instances
+	// requests. The public fsr layer injects its gadget table here; nil
+	// disables name-based loading (requests must carry a full instance).
+	Gadget func(name string) (*spp.Instance, error)
+	// CheckOracle re-runs every verification through the full-rebuild
+	// pipeline and counts disagreements in fsr_oracle_mismatches_total —
+	// the daemon-mode form of the differential oracle the tests enforce.
+	CheckOracle bool
+	// Logf receives one line per request when non-nil.
+	Logf func(format string, args ...any)
+}
+
+// Server is the verification daemon: a registry of named resident
+// verifiers behind an HTTP/JSON API. Create one with New, mount Handler.
+type Server struct {
+	opts    Options
+	metrics *Metrics
+
+	mu        sync.Mutex
+	instances map[string]*instanceEntry
+}
+
+// instanceEntry is one resident instance. The entry lock serializes
+// verifier access (a DeltaVerifier is single-goroutine); the registry lock
+// is never held across a solve.
+type instanceEntry struct {
+	mu       sync.Mutex
+	id       string
+	v        *spp.DeltaVerifier
+	created  time.Time
+	verifies int
+}
+
+// New returns a Server with an empty registry and fresh metrics.
+func New(opts Options) *Server {
+	return &Server{opts: opts, metrics: NewMetrics(), instances: map[string]*instanceEntry{}}
+}
+
+// Metrics exposes the server's registry, for embedding tests.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler mounts the API:
+//
+//	POST /v1/instances              load an instance (by gadget name or inline JSON)
+//	GET  /v1/instances              list resident instances
+//	GET  /v1/instances/{id}         inspect one instance and its solver stats
+//	POST /v1/instances/{id}/verify  decide safety (delta when possible)
+//	POST /v1/instances/{id}/whatif  apply edits, re-verify, optionally discard
+//	GET  /healthz                   liveness
+//	GET  /metrics                   Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/instances", s.instrument("create", s.handleCreate))
+	mux.HandleFunc("GET /v1/instances", s.instrument("list", s.handleList))
+	mux.HandleFunc("GET /v1/instances/{id}", s.instrument("get", s.handleGet))
+	mux.HandleFunc("POST /v1/instances/{id}/verify", s.instrument("verify", s.handleVerify))
+	mux.HandleFunc("POST /v1/instances/{id}/whatif", s.instrument("whatif", s.handleWhatIf))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler))
+	return mux
+}
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request counter, the latency
+// histogram, and optional logging.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start)
+		s.metrics.Requests.Inc(endpoint, strconv.Itoa(sw.code))
+		s.metrics.Latency.Observe(elapsed.Seconds(), endpoint)
+		if s.opts.Logf != nil {
+			s.opts.Logf("%s %s → %d (%v)", r.Method, r.URL.Path, sw.code, elapsed.Round(time.Microsecond))
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+// lookup resolves {id} to its entry or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *instanceEntry {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ent := s.instances[id]
+	s.mu.Unlock()
+	if ent == nil {
+		writeErr(w, http.StatusNotFound, "no instance %q", id)
+	}
+	return ent
+}
+
+var idPattern = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,128}$`)
+
+// createRequest loads an instance by built-in gadget name or inline JSON.
+type createRequest struct {
+	// ID names the resident instance; defaults to the instance's own name.
+	ID string `json:"id,omitempty"`
+	// Gadget is a built-in gadget name (mutually exclusive with Instance).
+	Gadget string `json:"gadget,omitempty"`
+	// Instance is a full instance in the corpus wire form.
+	Instance *scenario.InstanceJSON `json:"instance,omitempty"`
+}
+
+type instanceInfo struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Nodes    int    `json:"nodes"`
+	Sessions int    `json:"sessions"`
+	Degraded bool   `json:"degraded,omitempty"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	var in *spp.Instance
+	switch {
+	case req.Gadget != "" && req.Instance != nil:
+		writeErr(w, http.StatusBadRequest, "gadget and instance are mutually exclusive")
+		return
+	case req.Gadget != "":
+		if s.opts.Gadget == nil {
+			writeErr(w, http.StatusBadRequest, "this server has no gadget resolver; send a full instance")
+			return
+		}
+		inst, err := s.opts.Gadget(req.Gadget)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		in = inst
+	case req.Instance != nil:
+		inst, err := scenario.DecodeInstance(*req.Instance)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "decoding instance: %v", err)
+			return
+		}
+		in = inst
+	default:
+		writeErr(w, http.StatusBadRequest, "request wants a gadget name or an inline instance")
+		return
+	}
+	id := req.ID
+	if id == "" {
+		id = in.Name
+	}
+	if !idPattern.MatchString(id) {
+		writeErr(w, http.StatusBadRequest, "instance id %q: want 1-128 chars of [a-zA-Z0-9._-]", id)
+		return
+	}
+	v, err := spp.NewDeltaVerifier(in)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "loading instance: %v", err)
+		return
+	}
+	ent := &instanceEntry{id: id, v: v, created: time.Now()}
+	s.mu.Lock()
+	if _, exists := s.instances[id]; exists {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, "instance %q already resident", id)
+		return
+	}
+	s.instances[id] = ent
+	s.metrics.Resident.Set(float64(len(s.instances)))
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, s.info(ent))
+}
+
+func (s *Server) info(ent *instanceEntry) instanceInfo {
+	in := ent.v.Snapshot()
+	// Links stores both directions of every session; report undirected.
+	return instanceInfo{
+		ID: ent.id, Name: in.Name,
+		Nodes: len(in.Nodes), Sessions: len(in.Links) / 2,
+		Degraded: ent.v.Degraded(),
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	entries := make([]*instanceEntry, 0, len(s.instances))
+	for _, ent := range s.instances {
+		entries = append(entries, ent)
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	infos := make([]instanceInfo, len(entries))
+	for i, ent := range entries {
+		ent.mu.Lock()
+		infos[i] = s.info(ent)
+		ent.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"instances": infos})
+}
+
+type solverStats struct {
+	Checks      int `json:"checks"`
+	CacheHits   int `json:"cache_hits"`
+	DeltaSolves int `json:"delta_solves"`
+	FullSolves  int `json:"full_solves"`
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	ent := s.lookup(w, r)
+	if ent == nil {
+		return
+	}
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	st := ent.v.DeltaStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":       ent.id,
+		"info":     s.info(ent),
+		"instance": scenario.EncodeInstance(ent.v.Snapshot()),
+		"verifies": ent.verifies,
+		"solver": solverStats{
+			Checks: st.Checks, CacheHits: st.CacheHits,
+			DeltaSolves: st.DeltaSolves, FullSolves: st.FullSolves,
+		},
+	})
+}
+
+// verdict is the response body of verify and whatif.
+type verdict struct {
+	ID   string `json:"id"`
+	Safe bool   `json:"safe"`
+	// Model carries the strict-monotonicity witness when safe.
+	Model map[string]int `json:"model,omitempty"`
+	// Core and Suspects pinpoint the violation when unsafe.
+	Core            []string `json:"core,omitempty"`
+	Suspects        []string `json:"suspects,omitempty"`
+	NumPreference   int      `json:"num_preference"`
+	NumMonotonicity int      `json:"num_monotonicity"`
+	// Mode reports how the solver discharged the check: delta, full, or
+	// cached.
+	Mode       string  `json:"mode"`
+	DurationMS float64 `json:"duration_ms"`
+	// Applied and Discarded describe a what-if's edit batch.
+	Applied   int  `json:"applied,omitempty"`
+	Discarded bool `json:"discarded,omitempty"`
+	// OracleChecked/OracleMismatch report the differential oracle run in
+	// -check-oracle mode.
+	OracleChecked  bool        `json:"oracle_checked,omitempty"`
+	OracleMismatch bool        `json:"oracle_mismatch,omitempty"`
+	Solver         solverStats `json:"solver"`
+}
+
+// runVerify decides safety on v, classifies the discharge mode from the
+// solver-stats movement, feeds the daemon metrics, and (in -check-oracle
+// mode) differentially validates the answer against a full rebuild.
+// Callers hold the entry lock (or own v exclusively).
+func (s *Server) runVerify(r *http.Request, id string, v *spp.DeltaVerifier) (verdict, int, error) {
+	before := v.DeltaStats()
+	start := time.Now()
+	res, suspects, err := v.Verify(r.Context())
+	wall := time.Since(start)
+	if err != nil {
+		return verdict{}, http.StatusUnprocessableEntity, err
+	}
+	after := v.DeltaStats()
+	var mode string
+	switch {
+	case after.CacheHits > before.CacheHits:
+		mode = "cached"
+	case after.DeltaSolves > before.DeltaSolves:
+		mode = "delta"
+	case after.FullSolves > before.FullSolves:
+		mode = "full"
+	default:
+		// The verifier bypassed the delta context entirely (degraded or
+		// degenerate instance) and rebuilt from scratch.
+		mode = "full"
+		s.metrics.FullSolves.Inc()
+	}
+	s.metrics.DeltaSolves.Add(float64(after.DeltaSolves - before.DeltaSolves))
+	s.metrics.FullSolves.Add(float64(after.FullSolves - before.FullSolves))
+	s.metrics.CacheHits.Add(float64(after.CacheHits - before.CacheHits))
+	s.metrics.VerifyDuration.Observe(wall.Seconds(), mode)
+
+	out := verdict{
+		ID: id, Safe: res.Sat, Model: res.Model,
+		NumPreference: res.NumPreference, NumMonotonicity: res.NumMonotonicity,
+		Mode: mode, DurationMS: float64(wall.Microseconds()) / 1e3,
+		Solver: solverStats{
+			Checks: after.Checks, CacheHits: after.CacheHits,
+			DeltaSolves: after.DeltaSolves, FullSolves: after.FullSolves,
+		},
+	}
+	for _, c := range res.Core {
+		out.Core = append(out.Core, c.Assertion.Origin)
+	}
+	for _, n := range suspects {
+		out.Suspects = append(out.Suspects, string(n))
+	}
+	if s.opts.CheckOracle {
+		out.OracleChecked = true
+		out.OracleMismatch = !s.oracleAgrees(r, v, res, suspects)
+		if out.OracleMismatch {
+			s.metrics.OracleMismatches.Inc()
+		}
+	}
+	return out, http.StatusOK, nil
+}
+
+// oracleAgrees replays the check through the full-rebuild pipeline and
+// compares verdict, model, core, and suspects bit for bit.
+func (s *Server) oracleAgrees(r *http.Request, v *spp.DeltaVerifier, res analysis.Result, suspects []spp.Node) bool {
+	want, wantSus, err := v.VerifyFull(r.Context())
+	if err != nil {
+		return false
+	}
+	if want.Sat != res.Sat ||
+		want.NumPreference != res.NumPreference ||
+		want.NumMonotonicity != res.NumMonotonicity ||
+		len(want.Model) != len(res.Model) ||
+		len(want.Core) != len(res.Core) ||
+		len(wantSus) != len(suspects) {
+		return false
+	}
+	for k, val := range want.Model {
+		if res.Model[k] != val {
+			return false
+		}
+	}
+	for i := range want.Core {
+		if want.Core[i] != res.Core[i] {
+			return false
+		}
+	}
+	for i := range wantSus {
+		if wantSus[i] != suspects[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	ent := s.lookup(w, r)
+	if ent == nil {
+		return
+	}
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	out, code, err := s.runVerify(r, ent.id, ent.v)
+	if err != nil {
+		writeErr(w, code, "verifying %s: %v", ent.id, err)
+		return
+	}
+	ent.verifies++
+	writeJSON(w, code, out)
+}
+
+// whatIfOp is one edit of a what-if batch.
+type whatIfOp struct {
+	// Op is rerank, drop-session, or add-session.
+	Op string `json:"op"`
+	// Node and Paths parameterize rerank; paths are comma-joined node
+	// lists, most preferred first, as in the corpus wire form.
+	Node  string   `json:"node,omitempty"`
+	Paths []string `json:"paths,omitempty"`
+	// A, B, and Cost parameterize drop-session and add-session.
+	A    string `json:"a,omitempty"`
+	B    string `json:"b,omitempty"`
+	Cost int    `json:"cost,omitempty"`
+}
+
+type whatIfRequest struct {
+	Ops []whatIfOp `json:"ops"`
+	// Discard applies the edits to a throwaway clone: the resident
+	// instance is left untouched, making the call a pure query.
+	Discard bool `json:"discard,omitempty"`
+}
+
+func parsePath(s string) spp.Path {
+	parts := strings.Split(s, ",")
+	p := make(spp.Path, 0, len(parts))
+	for _, n := range parts {
+		p = append(p, spp.Node(strings.TrimSpace(n)))
+	}
+	return p
+}
+
+func applyOp(v *spp.DeltaVerifier, op whatIfOp) error {
+	switch op.Op {
+	case "rerank":
+		if op.Node == "" {
+			return fmt.Errorf("rerank wants a node")
+		}
+		paths := make([]spp.Path, len(op.Paths))
+		for i, ps := range op.Paths {
+			paths[i] = parsePath(ps)
+		}
+		return v.ReRank(spp.Node(op.Node), paths...)
+	case "drop-session":
+		if op.A == "" || op.B == "" {
+			return fmt.Errorf("drop-session wants a and b")
+		}
+		return v.DropSession(spp.Node(op.A), spp.Node(op.B))
+	case "add-session":
+		if op.A == "" || op.B == "" {
+			return fmt.Errorf("add-session wants a and b")
+		}
+		return v.AddSession(spp.Node(op.A), spp.Node(op.B), op.Cost)
+	default:
+		return fmt.Errorf("unknown op %q (want rerank, drop-session, add-session)", op.Op)
+	}
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	ent := s.lookup(w, r)
+	if ent == nil {
+		return
+	}
+	var req whatIfRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeErr(w, http.StatusBadRequest, "what-if wants at least one op")
+		return
+	}
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	target := ent.v
+	if req.Discard {
+		target = ent.v.Clone()
+	}
+	for i, op := range req.Ops {
+		if err := applyOp(target, op); err != nil {
+			// Edits validate before they mutate, and failed batches on the
+			// resident instance leave the already-applied prefix in place —
+			// report how far the batch got so the caller can reason about
+			// the state (discard mode is immune by construction).
+			writeErr(w, http.StatusBadRequest, "what-if op %d (%s): %v (applied %d of %d)",
+				i, op.Op, err, i, len(req.Ops))
+			return
+		}
+	}
+	out, code, err := s.runVerify(r, ent.id, target)
+	if err != nil {
+		writeErr(w, code, "verifying %s after what-if: %v", ent.id, err)
+		return
+	}
+	out.Applied = len(req.Ops)
+	out.Discarded = req.Discard
+	if !req.Discard {
+		ent.verifies++
+	}
+	writeJSON(w, code, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := len(s.instances)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "instances": n})
+}

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fsr/internal/scenario"
+	"fsr/internal/spp"
+)
+
+// newTestServer wires the gadget resolver the public layer would inject.
+func newTestServer(t *testing.T, checkOracle bool) (*Server, *httptest.Server) {
+	t.Helper()
+	gadgets := map[string]func() *spp.Instance{
+		"fig3":       spp.Figure3IBGP,
+		"fig3-fixed": spp.Figure3IBGPFixed,
+		"disagree":   spp.Disagree,
+	}
+	s := New(Options{
+		CheckOracle: checkOracle,
+		Gadget: func(name string) (*spp.Instance, error) {
+			if ctor, ok := gadgets[name]; ok {
+				return ctor(), nil
+			}
+			return nil, fmt.Errorf("unknown gadget %q", name)
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// call performs one JSON request and decodes the response into out.
+func call(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatalf("encoding request: %v", err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServerLifecycle drives the full session the README documents: load
+// fig3, verify (unsafe with suspects), what-if the repair (safe, by delta
+// re-solving), inspect, and scrape metrics — with the differential oracle
+// on throughout.
+func TestServerLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, true)
+
+	var created instanceInfo
+	if code := call(t, "POST", ts.URL+"/v1/instances",
+		map[string]any{"id": "demo", "gadget": "fig3"}, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if created.Nodes != 6 || created.Sessions != 8 {
+		t.Fatalf("create: info %+v", created)
+	}
+
+	var v verdict
+	if code := call(t, "POST", ts.URL+"/v1/instances/demo/verify", nil, &v); code != http.StatusOK {
+		t.Fatalf("verify: status %d", code)
+	}
+	if v.Safe {
+		t.Fatal("fig3 verified safe")
+	}
+	if len(v.Core) == 0 || len(v.Suspects) == 0 {
+		t.Fatalf("unsafe verdict without core/suspects: %+v", v)
+	}
+	if !v.OracleChecked || v.OracleMismatch {
+		t.Fatalf("oracle: checked=%v mismatch=%v", v.OracleChecked, v.OracleMismatch)
+	}
+
+	// The paper's fix: flip a, b, and c to prefer their direct routes. A
+	// discarded what-if first (pure query), then the real edit.
+	repair := map[string]any{"ops": []map[string]any{
+		{"op": "rerank", "node": "a", "paths": []string{"a,d,r1", "a,b,e,r2"}},
+		{"op": "rerank", "node": "b", "paths": []string{"b,e,r2", "b,c,f,r3"}},
+		{"op": "rerank", "node": "c", "paths": []string{"c,f,r3", "c,a,d,r1"}},
+	}}
+	preview := map[string]any{"ops": repair["ops"], "discard": true}
+	v = verdict{}
+	if code := call(t, "POST", ts.URL+"/v1/instances/demo/whatif", preview, &v); code != http.StatusOK {
+		t.Fatalf("discarded what-if: status %d", code)
+	}
+	if !v.Safe || !v.Discarded || v.Applied != 3 {
+		t.Fatalf("discarded what-if: %+v", v)
+	}
+
+	// The resident instance is untouched: verify still answers unsafe.
+	v = verdict{}
+	if call(t, "POST", ts.URL+"/v1/instances/demo/verify", nil, &v); v.Safe {
+		t.Fatal("discarded what-if mutated the resident instance")
+	}
+
+	v = verdict{}
+	if code := call(t, "POST", ts.URL+"/v1/instances/demo/whatif", repair, &v); code != http.StatusOK {
+		t.Fatalf("what-if: status %d", code)
+	}
+	if !v.Safe || v.Discarded {
+		t.Fatalf("repair what-if: %+v", v)
+	}
+	if len(v.Model) == 0 {
+		t.Fatal("safe verdict without witness model")
+	}
+	if v.OracleMismatch {
+		t.Fatal("delta result disagrees with the full-rebuild oracle")
+	}
+
+	// A further edit from the standing sat state is where delta solving
+	// pays off: trimming a's ranking keeps the instance safe, so the
+	// solver re-probes only the touched region instead of rebuilding.
+	trim := map[string]any{"ops": []map[string]any{
+		{"op": "rerank", "node": "a", "paths": []string{"a,d,r1"}},
+	}}
+	v = verdict{}
+	if code := call(t, "POST", ts.URL+"/v1/instances/demo/whatif", trim, &v); code != http.StatusOK {
+		t.Fatalf("trim what-if: status %d", code)
+	}
+	if !v.Safe || v.Mode != "delta" {
+		t.Fatalf("trim what-if: safe=%v mode=%q, want a delta solve", v.Safe, v.Mode)
+	}
+	if v.OracleMismatch {
+		t.Fatal("delta result disagrees with the full-rebuild oracle")
+	}
+
+	var got struct {
+		Instance scenario.InstanceJSON `json:"instance"`
+		Verifies int                   `json:"verifies"`
+		Solver   solverStats           `json:"solver"`
+	}
+	if code := call(t, "GET", ts.URL+"/v1/instances/demo", nil, &got); code != http.StatusOK {
+		t.Fatalf("get: status %d", code)
+	}
+	if got.Verifies != 4 {
+		t.Fatalf("verifies = %d, want 4", got.Verifies)
+	}
+	if want := []string{"a,d,r1"}; fmt.Sprint(got.Instance.Rank["a"]) != fmt.Sprint(want) {
+		t.Fatalf("snapshot rank[a] = %v, want %v", got.Instance.Rank["a"], want)
+	}
+	if got.Solver.Checks == 0 {
+		t.Fatalf("solver stats not reported: %+v", got.Solver)
+	}
+
+	if s.Metrics().DeltaSolves.Value() == 0 {
+		t.Fatal("no delta solves recorded across the repair session")
+	}
+	if n := s.Metrics().OracleMismatches.Value(); n != 0 {
+		t.Fatalf("oracle mismatches = %v", n)
+	}
+
+	// Metrics exposition: well-formed text format with the counters the
+	// smoke job scrapes.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE fsr_http_requests_total counter",
+		`fsr_http_requests_total{endpoint="verify",code="200"}`,
+		"# TYPE fsr_http_request_duration_seconds histogram",
+		"fsr_instances_resident 1",
+		"fsr_delta_solves_total ",
+		"fsr_oracle_mismatches_total 0",
+		`fsr_verify_duration_seconds_bucket{mode="delta",le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition lacks %q", want)
+		}
+	}
+}
+
+// TestServerInstanceUpload loads an instance by inline JSON rather than
+// gadget name and verifies session edits against it.
+func TestServerInstanceUpload(t *testing.T) {
+	_, ts := newTestServer(t, true)
+	enc := scenario.EncodeInstance(spp.Disagree())
+	var created instanceInfo
+	if code := call(t, "POST", ts.URL+"/v1/instances",
+		map[string]any{"instance": enc}, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if created.ID != "disagree" {
+		t.Fatalf("default id %q, want the instance name", created.ID)
+	}
+	var v verdict
+	call(t, "POST", ts.URL+"/v1/instances/disagree/verify", nil, &v)
+	if v.Safe {
+		t.Fatal("disagree verified safe")
+	}
+	// Cached repeat: the standing result answers without solving.
+	call(t, "POST", ts.URL+"/v1/instances/disagree/verify", nil, &v)
+	if v.Mode != "cached" {
+		t.Fatalf("repeat verify mode %q, want cached", v.Mode)
+	}
+	// Breaking the only session leaves a degenerate instance the delta
+	// path hands to the full pipeline, which rejects it ("no labels
+	// declared") — the daemon surfaces the same error AnalyzeSPP would.
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	drop := map[string]any{"ops": []map[string]any{{"op": "drop-session", "a": "1", "b": "2"}}}
+	if code := call(t, "POST", ts.URL+"/v1/instances/disagree/whatif", drop, &errBody); code != http.StatusUnprocessableEntity {
+		t.Fatalf("drop what-if: status %d, want 422", code)
+	}
+	if !strings.Contains(errBody.Error, "no labels") {
+		t.Fatalf("degenerate-instance error %q", errBody.Error)
+	}
+}
+
+// TestServerErrors covers the API's failure envelope.
+func TestServerErrors(t *testing.T) {
+	_, ts := newTestServer(t, false)
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		code   int
+	}{
+		{"create without payload", "POST", "/v1/instances", map[string]any{}, http.StatusBadRequest},
+		{"create unknown gadget", "POST", "/v1/instances", map[string]any{"gadget": "nope"}, http.StatusBadRequest},
+		{"create bad id", "POST", "/v1/instances", map[string]any{"id": "a b", "gadget": "fig3"}, http.StatusBadRequest},
+		{"verify missing instance", "POST", "/v1/instances/ghost/verify", nil, http.StatusNotFound},
+		{"whatif missing instance", "POST", "/v1/instances/ghost/whatif",
+			map[string]any{"ops": []map[string]any{{"op": "rerank"}}}, http.StatusNotFound},
+		{"get missing instance", "GET", "/v1/instances/ghost", nil, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		if code := call(t, c.method, ts.URL+c.path, c.body, &errBody); code != c.code {
+			t.Errorf("%s: status %d, want %d", c.name, code, c.code)
+		}
+		if errBody.Error == "" {
+			t.Errorf("%s: no error message", c.name)
+		}
+	}
+
+	// Duplicate load conflicts; bad ops and empty batches reject.
+	call(t, "POST", ts.URL+"/v1/instances", map[string]any{"id": "x", "gadget": "fig3"}, nil)
+	if code := call(t, "POST", ts.URL+"/v1/instances",
+		map[string]any{"id": "x", "gadget": "disagree"}, &errBody); code != http.StatusConflict {
+		t.Errorf("duplicate create: status %d, want 409", code)
+	}
+	if code := call(t, "POST", ts.URL+"/v1/instances/x/whatif",
+		map[string]any{"ops": []map[string]any{}}, &errBody); code != http.StatusBadRequest {
+		t.Errorf("empty what-if: status %d", code)
+	}
+	if code := call(t, "POST", ts.URL+"/v1/instances/x/whatif",
+		map[string]any{"ops": []map[string]any{{"op": "explode"}}}, &errBody); code != http.StatusBadRequest {
+		t.Errorf("unknown op: status %d", code)
+	}
+	if code := call(t, "POST", ts.URL+"/v1/instances/x/whatif",
+		map[string]any{"ops": []map[string]any{
+			{"op": "rerank", "node": "a", "paths": []string{"a,z,r9"}},
+		}}, &errBody); code != http.StatusBadRequest {
+		t.Errorf("invalid rerank: status %d", code)
+	}
+	if !strings.Contains(errBody.Error, "applied 0 of 1") {
+		t.Errorf("batch progress missing from error: %q", errBody.Error)
+	}
+
+	var health struct {
+		OK        bool `json:"ok"`
+		Instances int  `json:"instances"`
+	}
+	if code := call(t, "GET", ts.URL+"/healthz", nil, &health); code != http.StatusOK || !health.OK || health.Instances != 1 {
+		t.Errorf("healthz: code %d body %+v", code, health)
+	}
+}

@@ -148,8 +148,29 @@ func (e *dlEngine) build(asserts []Assertion) {
 	}
 	e.posActive = true
 
-	// CSR adjacency by counting sort on the source node.
+	e.buildCSR()
+
 	V := nVars + 1
+	e.dist = growInt(e.dist, V)
+	e.pred = growInt32(e.pred, V)
+	e.cnt = growInt32(e.cnt, V)
+	e.inQ = growBool(e.inQ, V)
+	e.queue = growInt32(e.queue, V)
+	e.cycleIdx = e.cycleIdx[:0]
+	e.active = growBool(e.active, len(asserts))
+	e.inWitness = growBool(e.inWitness, len(asserts))
+	for i := range asserts {
+		e.active[i] = asserts[i].QuantVar == ""
+		e.inWitness[i] = false
+	}
+	e.witness = e.witness[:0]
+}
+
+// buildCSR (re)indexes e.edges into the CSR adjacency by counting sort on
+// the source node. It is called by build and again by the delta layer after
+// an edge splice. e.cycleIdx is borrowed as the fill cursor and left empty.
+func (e *dlEngine) buildCSR() {
+	V := len(e.idVar)
 	e.adjStart = growInt32(e.adjStart, V+1)
 	for i := range e.adjStart {
 		e.adjStart[i] = 0
@@ -169,20 +190,7 @@ func (e *dlEngine) build(asserts []Assertion) {
 		e.adjList[fill[f]] = int32(i)
 		fill[f]++
 	}
-
-	e.dist = growInt(e.dist, V)
-	e.pred = growInt32(e.pred, V)
-	e.cnt = growInt32(e.cnt, V)
-	e.inQ = growBool(e.inQ, V)
-	e.queue = growInt32(e.queue, V)
 	e.cycleIdx = e.cycleIdx[:0]
-	e.active = growBool(e.active, len(asserts))
-	e.inWitness = growBool(e.inWitness, len(asserts))
-	for i := range asserts {
-		e.active[i] = asserts[i].QuantVar == ""
-		e.inWitness[i] = false
-	}
-	e.witness = e.witness[:0]
 }
 
 // edgeActive reports whether the edge participates under the current mask.
@@ -207,7 +215,15 @@ func (e *dlEngine) spfa() int32 {
 		e.inQ[i] = true
 		e.queue[i] = i
 	}
-	head, size := int32(0), V
+	return e.spfaLoop(0, V)
+}
+
+// spfaLoop runs the relaxation loop over an already-seeded ring queue
+// occupying queue[head:head+size] (mod V). The fresh-solve path seeds every
+// node; the delta layer seeds only the affected region, with converged
+// distances left in place for the rest.
+func (e *dlEngine) spfaLoop(head, size int32) int32 {
+	V := int32(len(e.idVar))
 	for size > 0 {
 		u := e.queue[head]
 		head++

@@ -313,48 +313,60 @@ func bfsDepth(adj map[string][]string, root string) map[string]int {
 // AllPairsIGP computes all-pairs shortest-path costs over the weighted
 // links (the pairwise IGP costs §VI-B precomputes).
 func (g *RouterGraph) AllPairsIGP() map[string]map[string]int {
-	adj := map[string][]WLink{}
-	for _, l := range g.Links {
-		adj[l.A] = append(adj[l.A], l)
-		adj[l.B] = append(adj[l.B], WLink{A: l.B, B: l.A, Weight: l.Weight})
-	}
+	adj := WeightedAdjacency(g.Links)
 	out := map[string]map[string]int{}
 	for _, src := range g.Routers {
-		out[src] = dijkstra(adj, src)
+		dist, _ := ShortestPathTree(adj, src)
+		out[src] = dist
 	}
 	return out
 }
 
-func dijkstra(adj map[string][]WLink, src string) map[string]int {
+// WeightedAdjacency builds the both-direction weighted adjacency of an
+// undirected link set, neighbors in a stable (name) order. Each entry's A
+// field is the owning node, so adj[n][i].B is n's i-th neighbor.
+func WeightedAdjacency(links []WLink) map[string][]WLink {
+	adj := map[string][]WLink{}
+	for _, l := range links {
+		adj[l.A] = append(adj[l.A], l)
+		adj[l.B] = append(adj[l.B], WLink{A: l.B, B: l.A, Weight: l.Weight})
+	}
+	for _, nbs := range adj {
+		sort.Slice(nbs, func(i, j int) bool { return nbs[i].B < nbs[j].B })
+	}
+	return adj
+}
+
+// ShortestPathTree runs a deterministic Dijkstra rooted at src over a
+// WeightedAdjacency, returning distances and the parent pointers of the
+// shortest-path tree. Ties — both in extraction order and in parent choice —
+// are broken by node name, so equal inputs rebuild equal trees regardless
+// of map iteration order. Linear extraction keeps the code dependency-free;
+// the generated graphs are small (≤ a few hundred routers).
+func ShortestPathTree(adj map[string][]WLink, src string) (map[string]int, map[string]string) {
 	const inf = 1 << 30
 	dist := map[string]int{src: 0}
-	visited := map[string]bool{}
+	parent := map[string]string{}
+	done := map[string]bool{}
 	for {
-		// Linear extraction keeps the code dependency-free; graphs are
-		// small (≤ a few hundred routers).
 		best, bestD := "", inf
 		for n, d := range dist {
-			if !visited[n] && d < bestD {
+			if !done[n] && (d < bestD || (d == bestD && n < best)) {
 				best, bestD = n, d
 			}
 		}
 		if best == "" {
-			return dist
+			return dist, parent
 		}
-		visited[best] = true
+		done[best] = true
 		for _, l := range adj[best] {
-			if nd := bestD + l.Weight; nd < distOr(dist, l.B, inf) {
+			nd := bestD + l.Weight
+			if d, ok := dist[l.B]; !ok || nd < d || (nd == d && best < parent[l.B]) {
 				dist[l.B] = nd
+				parent[l.B] = best
 			}
 		}
 	}
-}
-
-func distOr(m map[string]int, k string, def int) int {
-	if v, ok := m[k]; ok {
-		return v
-	}
-	return def
 }
 
 // SessionGraph returns the iBGP session topology: sessions along every

@@ -1,0 +1,72 @@
+package fsr
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"fsr/internal/server"
+)
+
+// ServeOptions configures the verification daemon.
+type ServeOptions struct {
+	// Addr is the listen address (default 127.0.0.1:8080).
+	Addr string
+	// CheckOracle re-runs every verification through the full-rebuild
+	// pipeline and counts disagreements in fsr_oracle_mismatches_total.
+	CheckOracle bool
+	// Logf receives one line per request when non-nil.
+	Logf func(format string, args ...any)
+}
+
+// NewServerHandler returns the verification daemon's http.Handler: a
+// registry of resident [DeltaVerifier]s behind an HTTP/JSON API
+// (POST /v1/instances, …/verify, …/whatif, GET /v1/instances[/{id}],
+// /healthz, /metrics), with built-in gadget names resolved through
+// [Gadget]. Mount it under your own server, or use [Serve] to run a
+// standalone daemon.
+func NewServerHandler(opts ServeOptions) http.Handler {
+	return server.New(server.Options{
+		Gadget:      Gadget,
+		CheckOracle: opts.CheckOracle,
+		Logf:        opts.Logf,
+	}).Handler()
+}
+
+// Serve runs the verification daemon until the context is cancelled, then
+// shuts down gracefully. The listener is bound before Serve returns to its
+// serving loop, so a caller that sees no immediate error can start issuing
+// requests.
+func Serve(ctx context.Context, opts ServeOptions) error {
+	addr := opts.Addr
+	if addr == "" {
+		addr = "127.0.0.1:8080"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: NewServerHandler(opts)}
+	if opts.Logf != nil {
+		opts.Logf("fsr serve: listening on http://%s", ln.Addr())
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return err
+		}
+		<-done // always http.ErrServerClosed after Shutdown
+		return nil
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

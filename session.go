@@ -13,6 +13,7 @@ import (
 	"fsr/internal/scenario"
 	"fsr/internal/simnet"
 	"fsr/internal/smt"
+	"fsr/internal/spp"
 	"fsr/internal/trace"
 )
 
@@ -207,6 +208,19 @@ func (s *Session) AnalyzeSPP(ctx context.Context, in *SPPInstance) (AnalysisResu
 		return AnalysisResult{}, nil, err
 	}
 	return res, conv.SuspectNodes(res.Core), nil
+}
+
+// OpenDeltaVerifier loads an SPP instance into a resident incremental
+// verifier. The verifier deep-copies the instance, builds the safety
+// constraint system once, and then re-verifies edits (ReRank, AddSession,
+// DropSession) by patching the standing difference-logic graph and
+// re-probing only the affected region — the daemon-mode counterpart of
+// AnalyzeSPP. Verdicts, models, and minimal cores are bit-for-bit
+// identical to a full rebuild (VerifyFull is the differential oracle).
+// A DeltaVerifier is single-goroutine; concurrent use needs external
+// locking or per-caller Clone.
+func (s *Session) OpenDeltaVerifier(in *SPPInstance) (*DeltaVerifier, error) {
+	return spp.NewDeltaVerifier(in)
 }
 
 // Compile translates a policy configuration to its NDlog implementation:
