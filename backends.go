@@ -93,6 +93,7 @@ const (
 	ScenarioGaoRexford       = scenario.GaoRexford
 	ScenarioIBGP             = scenario.IBGP
 	ScenarioDivergentFixture = scenario.DivergentFixture
+	ScenarioPartialSpec      = scenario.PartialSpec
 
 	ExpectAny    = scenario.ExpectAny
 	ExpectSafe   = scenario.ExpectSafe

@@ -456,6 +456,37 @@ func BenchmarkAblationCostHiding(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOverhead measures the observability tax on the hottest
+// full-pipeline call (Figure 3 analysis): mode=off is the default
+// nil-tracer path, whose delta against BenchmarkFigure3Analysis bounds the
+// cost of the always-on metric counters; mode=on attaches a fresh tracer
+// per iteration, pricing span recording for -trace-out users.
+func BenchmarkObsOverhead(b *testing.B) {
+	conv, err := spp.Figure3IBGP().ToAlgebra()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, ctx context.Context) {
+		res, err := analysis.CheckWith(ctx, conv.Algebra, analysis.StrictMonotonicity, smt.Native{})
+		if err != nil || res.Sat {
+			b.Fatalf("want unsat, got %v %v", res.Sat, err)
+		}
+	}
+	b.Run("mode=off", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run(b, ctx)
+		}
+	})
+	b.Run("mode=on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run(b, WithTracer(context.Background(), NewTracer()))
+		}
+	})
+}
+
 // BenchmarkSolverScaling measures the SMT substrate on growing chain
 // instances (pure solver throughput: context construction, incremental
 // graph build, SPFA decision, model extraction). The n=1000 and n=5000

@@ -6,14 +6,16 @@
 //
 // Usage:
 //
-//	fsr analyze  [-config FILE | -builtin NAME | -spp NAME] [-solver B]  safety analysis
+//	fsr analyze  [-config FILE | -builtin NAME | -spp NAME] [-solver B]
+//	             [-trace-out FILE]                            safety analysis
 //	fsr compile  [-config FILE | -builtin NAME | -spp NAME]   emit the NDlog program
 //	fsr yices    [-config FILE | -builtin NAME | -spp NAME]   emit the solver encoding
 //	fsr run      [-gadget NAME] [-runner B] [-horizon D] [-batch D]
 //	                                                          execute a gadget under GPV
 //	fsr campaign [-count N] [-seed S] [-kinds K,K] [-shard i/n] [-shrink]
-//	             [-corpus FILE | -replay FILE]                differential campaign
-//	fsr serve    [-addr HOST:PORT] [-check-oracle]            verification-as-a-service daemon
+//	             [-corpus FILE | -replay FILE] [-trace-out FILE]
+//	             [-metrics-addr HOST:PORT] [-quiet]           differential campaign
+//	fsr serve    [-addr HOST:PORT] [-check-oracle] [-pprof]   verification-as-a-service daemon
 //	fsr experiment <table1|table2|fig3|fig4|fig5|fig6|vic> [flags]
 //	fsr topo     [-depth N] [-seed S]                         print a generated AS hierarchy
 //
@@ -21,7 +23,14 @@
 // hop-count, backup. Built-in gadgets: goodgadget, badgadget, disagree,
 // fig3, fig3-fixed. Solver backends: native, yices-text. Runner backends:
 // sim, sim-ndlog, tcp. Scenario kinds: gadget-splice, gao-rexford, ibgp,
-// divergent-fixture.
+// divergent-fixture, partial-spec.
+//
+// Observability: -trace-out writes a Chrome trace-event JSON file (open in
+// Perfetto) covering every pipeline span under the command; -metrics-addr
+// binds an HTTP listener serving the process-global metrics registry at
+// /metrics and Go profiling at /debug/pprof/ for the campaign's duration;
+// campaigns print a progress line to stderr every few seconds plus a final
+// summary table unless -quiet is given.
 //
 // Exit codes distinguish outcomes for campaign scripting: 0 means the
 // command succeeded (and, where applicable, the analysis proved safety),
@@ -35,6 +44,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -149,6 +160,46 @@ func loadPolicy(builtin, configPath, sppName string) (fsr.Algebra, *fsr.SPPConve
 	return alg, nil, nil
 }
 
+// withTraceOut attaches a fresh tracer to the context when path is
+// non-empty, returning a flush func that writes the recorded spans as
+// Chrome trace-event JSON (Perfetto-loadable) once the command is done.
+func withTraceOut(ctx context.Context, path string) (context.Context, func() error) {
+	if path == "" {
+		return ctx, func() error { return nil }
+	}
+	tr := fsr.NewTracer()
+	return fsr.WithTracer(ctx, tr), func() error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fsr: wrote %d span(s) to %s\n", tr.SpanCount(), path)
+		return nil
+	}
+}
+
+// startMetricsListener binds addr and serves the process-global metrics
+// registry at /metrics plus Go profiling at /debug/pprof/ for the life of
+// the process. Returns the bound address (addr may use port 0).
+func startMetricsListener(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", fsr.MetricsHandler())
+	fsr.MountPprof(mux)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}
+
 // sessionFromFlags builds the Session every subcommand drives.
 func sessionFromFlags(solverName, runnerName string, opts ...fsr.Option) (*fsr.Session, error) {
 	solver, err := fsr.SolverBackendByName(solverName)
@@ -169,6 +220,7 @@ func cmdAnalyze(args []string) error {
 	configPath := fs.String("config", "", "configuration file")
 	sppName := fs.String("spp", "", "built-in SPP gadget name")
 	solverName := fs.String("solver", "native", "solver backend: native|yices-text")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file of the analysis spans")
 	fs.Parse(args)
 	alg, conv, err := loadPolicy(*builtin, *configPath, *sppName)
 	if err != nil {
@@ -178,7 +230,11 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := sess.Analyze(context.Background(), alg)
+	ctx, flush := withTraceOut(context.Background(), *traceOut)
+	rep, err := sess.Analyze(ctx, alg)
+	if ferr := flush(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return err
 	}
@@ -208,6 +264,9 @@ func cmdCampaign(args []string) error {
 	solverName := fs.String("solver", "native", "solver backend: native|yices-text")
 	runnerName := fs.String("runner", "sim", "runner backend: sim|sim-ndlog|tcp")
 	verbose := fs.Bool("v", false, "print every scenario result, not just the summary")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file of the campaign spans")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address for the campaign's duration")
+	quiet := fs.Bool("quiet", false, "suppress the periodic progress line and final summary table on stderr")
 	fs.Parse(args)
 
 	if *replayPath != "" {
@@ -240,6 +299,14 @@ func cmdCampaign(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
+	if *metricsAddr != "" {
+		bound, err := startMetricsListener(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fsr: serving metrics on http://%s/metrics (profiling at /debug/pprof/)\n", bound)
+	}
+	ctx, flush := withTraceOut(ctx, *traceOut)
 
 	if *replayPath != "" {
 		f, err := os.Open(*replayPath)
@@ -252,6 +319,9 @@ func cmdCampaign(args []string) error {
 			return err
 		}
 		results, err := sess.Replay(ctx, entries)
+		if ferr := flush(); ferr != nil && err == nil {
+			err = ferr
+		}
 		if err != nil {
 			return err
 		}
@@ -286,6 +356,9 @@ func cmdCampaign(args []string) error {
 		NoSim:    *noSim,
 		Shrink:   *shrink,
 	}
+	if !*quiet {
+		spec.Progress = os.Stderr
+	}
 	if *kindsFlag != "" {
 		for _, name := range strings.Split(*kindsFlag, ",") {
 			kind, err := fsr.ScenarioKindByName(strings.TrimSpace(name))
@@ -308,6 +381,9 @@ func cmdCampaign(args []string) error {
 		spec.Shard, spec.NumShards = s, n
 	}
 	rep, err := sess.Campaign(ctx, spec)
+	if ferr := flush(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return err
 	}
@@ -354,11 +430,13 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	checkOracle := fs.Bool("check-oracle", false,
 		"differentially validate every delta verification against a full rebuild")
+	pprofFlag := fs.Bool("pprof", false,
+		"mount Go profiling at /debug/pprof/ (profiles expose heap contents; trusted listeners only)")
 	quiet := fs.Bool("quiet", false, "suppress per-request logging")
 	fs.Parse(args)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	opts := fsr.ServeOptions{Addr: *addr, CheckOracle: *checkOracle}
+	opts := fsr.ServeOptions{Addr: *addr, CheckOracle: *checkOracle, Pprof: *pprofFlag}
 	if !*quiet {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

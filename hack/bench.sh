@@ -18,7 +18,7 @@ trap 'rm -f "$tmp"' EXIT
 
 # DeltaVerify/mode=full pays a full n=5000 rebuild per iteration (tens of
 # seconds), so the suite needs headroom beyond go test's default timeout.
-go test -run '^$' -bench 'Stage|Figure3Analysis|SolverScaling|Campaign|DeltaVerify' \
+go test -run '^$' -bench 'Stage|Figure3Analysis|SolverScaling|Campaign|DeltaVerify|ObsOverhead' \
     -benchmem -count "$count" -timeout 60m . | tee "$tmp"
 
 awk '

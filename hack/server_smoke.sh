@@ -12,7 +12,7 @@ base="http://$addr"
 bin="$(mktemp -d)/fsr"
 go build -o "$bin" ./cmd/fsr
 
-"$bin" serve -addr "$addr" -check-oracle -quiet &
+"$bin" serve -addr "$addr" -check-oracle -pprof -quiet &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true; rm -rf "$(dirname "$bin")"' EXIT
 
@@ -44,9 +44,17 @@ metrics="$(curl -fsS "$base/metrics")"
 delta="$(echo "$metrics" | awk '$1 == "fsr_delta_solves_total" {print $2}')"
 mismatch="$(echo "$metrics" | awk '$1 == "fsr_oracle_mismatches_total" {print $2}')"
 resident="$(echo "$metrics" | awk '$1 == "fsr_instances_resident" {print $2}')"
+probes="$(echo "$metrics" | awk '$1 == "fsr_smt_probes_total" {print $2}')"
 
 [ "${delta:-0}" -gt 0 ] || { echo "FAIL: fsr_delta_solves_total=$delta, want > 0" >&2; exit 1; }
 [ "${mismatch:-1}" -eq 0 ] || { echo "FAIL: fsr_oracle_mismatches_total=$mismatch" >&2; exit 1; }
 [ "${resident:-0}" -eq 1 ] || { echo "FAIL: fsr_instances_resident=$resident, want 1" >&2; exit 1; }
+# The shared obs registry rides along on the daemon's /metrics: the solver
+# introspection counters must have moved during the verifications above.
+[ "${probes:-0}" -gt 0 ] || { echo "FAIL: fsr_smt_probes_total=$probes, want > 0" >&2; exit 1; }
 
-echo "server smoke OK: delta_solves=$delta oracle_mismatches=$mismatch"
+# -pprof mounts the Go profiling endpoints on the same listener.
+curl -fsS "$base/debug/pprof/cmdline" >/dev/null \
+    || { echo "FAIL: /debug/pprof/cmdline not served with -pprof" >&2; exit 1; }
+
+echo "server smoke OK: delta_solves=$delta oracle_mismatches=$mismatch smt_probes=$probes"

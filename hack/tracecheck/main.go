@@ -1,0 +1,63 @@
+// Command tracecheck validates a Chrome trace-event JSON file written by
+// fsr's -trace-out flag: the envelope parses, every event is a well-formed
+// complete ("X") event, and the span names given as arguments all occur.
+// Usage: go run ./hack/tracecheck file.json [required-span ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type event struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck file.json [required-span ...]")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(2)
+	}
+	var envelope struct {
+		TraceEvents []event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &envelope); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: invalid JSON:", err)
+		os.Exit(1)
+	}
+	if len(envelope.TraceEvents) == 0 {
+		fmt.Fprintln(os.Stderr, "tracecheck: no trace events")
+		os.Exit(1)
+	}
+	names := map[string]int{}
+	for i, e := range envelope.TraceEvents {
+		if e.Name == "" || e.Ph != "X" || e.Ts < 0 || e.Dur < 0 || e.Pid != 1 || e.Tid < 1 {
+			fmt.Fprintf(os.Stderr, "tracecheck: malformed event %d: %+v\n", i, e)
+			os.Exit(1)
+		}
+		names[e.Name]++
+	}
+	ok := true
+	for _, want := range os.Args[2:] {
+		if names[want] == 0 {
+			fmt.Fprintf(os.Stderr, "tracecheck: no %q span recorded\n", want)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck OK: %d event(s), %d distinct span name(s)\n",
+		len(envelope.TraceEvents), len(names))
+}

@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"fsr/internal/algebra"
+	"fsr/internal/obs"
 	"fsr/internal/smt"
 )
 
@@ -413,6 +415,12 @@ func checkGen(ctx context.Context, g *constraintGen, cond Condition, solver smt.
 	if solver == nil {
 		solver = smt.Native{}
 	}
+	ctx, sp := obs.StartSpan(ctx, "check")
+	sp.Attr("algebra", g.name)
+	sp.Attr("condition", cond.String())
+	defer sp.End()
+	genStart := time.Now()
+	_, gsp := obs.StartSpan(ctx, "constraint-gen")
 	cons := g.constraints(cond)
 	asserts := make([]smt.Assertion, len(cons))
 	res := Result{Algebra: g.name, Condition: cond}
@@ -424,7 +432,12 @@ func checkGen(ctx context.Context, g *constraintGen, cond Condition, solver smt.
 			res.NumMonotonicity++
 		}
 	}
+	gsp.End()
+	obsStageGen.Observe(time.Since(genStart).Seconds())
+	obsConstraints.Add(int64(len(cons)))
+	solveStart := time.Now()
 	out, err := solver.Solve(ctx, asserts)
+	obsStageSolve.Observe(time.Since(solveStart).Seconds())
 	if err != nil {
 		return Result{}, err
 	}

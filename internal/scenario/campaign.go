@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"strings"
@@ -13,6 +14,7 @@ import (
 
 	"fsr/internal/analysis"
 	"fsr/internal/engine"
+	"fsr/internal/obs"
 	"fsr/internal/smt"
 	"fsr/internal/spp"
 )
@@ -56,6 +58,13 @@ type Spec struct {
 	// Runner executes instances (default engine.SimRunner; campaigns want a
 	// simulation backend — deployment runners make runs wall-clock bound).
 	Runner engine.Runner
+	// Progress, when non-nil, receives a periodic one-line status (done
+	// count, scenarios/sec, per-outcome tallies) every ProgressEvery plus a
+	// final summary table. The CLI points this at stderr; the library
+	// default (nil) stays silent.
+	Progress io.Writer
+	// ProgressEvery is the period of progress lines (default 5 s).
+	ProgressEvery time.Duration
 }
 
 func (s Spec) withDefaults() Spec {
@@ -88,6 +97,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Runner == nil {
 		s.Runner = engine.SimRunner{}
+	}
+	if s.ProgressEvery <= 0 {
+		s.ProgressEvery = 5 * time.Second
 	}
 	return s
 }
@@ -141,6 +153,9 @@ func (o Outcome) String() string {
 func (o Outcome) Interesting() bool {
 	return o == OutcomeDivergence || o == OutcomeMismatch
 }
+
+// numOutcomes sizes per-outcome arrays (OutcomeError is the last class).
+const numOutcomes = int(OutcomeError) + 1
 
 // outcomeOrder is every class in display order.
 var outcomeOrder = []Outcome{
@@ -287,11 +302,14 @@ func (r *Report) String() string {
 // execution on the spec's runner. simSeed keys the execution's
 // deterministic randomness.
 func evaluate(ctx context.Context, in *spp.Instance, spec Spec, simSeed int64) (sat, simRan, converged bool, simTime time.Duration, err error) {
+	actx, asp := obs.StartSpan(ctx, "analyze")
 	conv, err := in.ToAlgebra()
 	if err != nil {
+		asp.End()
 		return false, false, false, 0, err
 	}
-	res, err := analysis.CheckWith(ctx, conv.Algebra, analysis.StrictMonotonicity, spec.Solver)
+	res, err := analysis.CheckWith(actx, conv.Algebra, analysis.StrictMonotonicity, spec.Solver)
+	asp.End()
 	if err != nil {
 		return false, false, false, 0, err
 	}
@@ -302,7 +320,9 @@ func evaluate(ctx context.Context, in *spp.Instance, spec Spec, simSeed int64) (
 	if simSeed == 0 {
 		simSeed = 1
 	}
-	rep, err := spec.Runner.Run(ctx, conv, engine.RunOptions{Seed: simSeed, Horizon: spec.Horizon})
+	sctx, ssp := obs.StartSpan(ctx, "simulate")
+	rep, err := spec.Runner.Run(sctx, conv, engine.RunOptions{Seed: simSeed, Horizon: spec.Horizon})
+	ssp.End()
 	if err != nil {
 		return sat, false, false, 0, err
 	}
@@ -316,7 +336,13 @@ func runOne(ctx context.Context, spec Spec, index int) Result {
 	res := Result{Index: index, Kind: kind, Seed: seed}
 	sctx, cancel := context.WithTimeout(ctx, spec.ScenarioTimeout)
 	defer cancel()
+	sctx, sp := obs.StartSpan(sctx, "scenario")
+	sp.Attr("kind", string(kind))
+	sp.AttrInt("seed", seed)
+	defer sp.End()
+	_, gsp := obs.StartSpan(sctx, "generate")
 	sc, err := Generate(kind, seed)
+	gsp.End()
 	if err != nil {
 		res.Outcome, res.Err = OutcomeError, err.Error()
 		return res
@@ -380,9 +406,12 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		workers = len(rep.Results)
 	}
 	var (
-		next atomic.Int64
-		wg   sync.WaitGroup
+		next  atomic.Int64
+		done  atomic.Int64
+		tally [numOutcomes]atomic.Int64
+		wg    sync.WaitGroup
 	)
+	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -392,20 +421,91 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 				if i >= len(rep.Results) || ctx.Err() != nil {
 					return
 				}
-				rep.Results[i] = runOne(ctx, spec, lo+i)
+				r := runOne(ctx, spec, lo+i)
+				rep.Results[i] = r
+				tally[r.Outcome].Add(1)
+				done.Add(1)
+				obsOutcomes.Inc(r.Outcome.String())
+				obsScenarios.Inc()
+			}
+		}()
+	}
+	var stop chan struct{}
+	if spec.Progress != nil {
+		stop = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(spec.ProgressEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					fmt.Fprintln(spec.Progress, progressLine(&done, &tally, len(rep.Results), start))
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if stop != nil {
+		close(stop)
+		fmt.Fprintln(spec.Progress, progressLine(&done, &tally, len(rep.Results), start))
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if spec.Shrink {
+		if spec.Progress != nil && len(rep.Interesting()) > 0 {
+			fmt.Fprintf(spec.Progress, "campaign: shrinking %d interesting result(s)\n",
+				min(len(rep.Interesting()), spec.MaxShrink))
+		}
 		if err := shrinkInteresting(ctx, spec, rep); err != nil {
 			return nil, err
 		}
 	}
+	if spec.Progress != nil {
+		writeSummary(spec.Progress, rep, time.Since(start))
+	}
 	return rep, nil
+}
+
+// progressLine renders one periodic status line: completion, throughput,
+// and the nonzero outcome tallies so far.
+func progressLine(done *atomic.Int64, tally *[numOutcomes]atomic.Int64, total int, start time.Time) string {
+	d := done.Load()
+	elapsed := time.Since(start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(d) / elapsed
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d/%d scenarios (%.1f/s)", d, total, rate)
+	for i, o := range outcomeOrder {
+		if n := tally[i].Load(); n > 0 {
+			fmt.Fprintf(&b, " %s=%d", o, n)
+		}
+	}
+	return b.String()
+}
+
+// writeSummary renders the final per-outcome table after a sweep.
+func writeSummary(w io.Writer, rep *Report, elapsed time.Duration) {
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(len(rep.Results)) / s
+	}
+	fmt.Fprintf(w, "campaign: done — %d scenario(s) in %v (%.1f/s)\n",
+		len(rep.Results), elapsed.Round(time.Millisecond), rate)
+	fmt.Fprintf(w, "  %-12s %6s\n", "outcome", "count")
+	tally := rep.Tally()
+	for _, o := range outcomeOrder {
+		if n := tally[o]; n > 0 {
+			fmt.Fprintf(w, "  %-12s %6d\n", o, n)
+		}
+	}
+	if len(rep.Shrunk) > 0 {
+		fmt.Fprintf(w, "  %-12s %6d\n", "shrunk", len(rep.Shrunk))
+	}
 }
 
 // shrinkInteresting minimizes up to spec.MaxShrink interesting results,
@@ -436,7 +536,10 @@ func shrinkInteresting(ctx context.Context, spec Spec, rep *Report) error {
 			}
 			return sat == want.Sat && converged == want.Converged, nil
 		}
-		min, tries, err := Shrink(ctx, sc.Instance, keep)
+		shctx, ssp := obs.StartSpan(ctx, "shrink")
+		ssp.AttrInt("index", int64(res.Index))
+		min, tries, err := Shrink(shctx, sc.Instance, keep)
+		ssp.End()
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,15 @@
+// Campaign counters on the process-global obs registry: per-outcome
+// totals (one series per classification, including the ExpectAny
+// partial-spec scenarios) and a completed-scenario counter that a
+// -metrics-addr scraper can rate() into scenarios/sec.
+
+package scenario
+
+import "fsr/internal/obs"
+
+var (
+	obsOutcomes = obs.Default().CounterVec("fsr_campaign_scenarios_total",
+		"Campaign scenarios completed, by outcome class.", "outcome")
+	obsScenarios = obs.Default().Counter("fsr_campaign_scenarios_completed_total",
+		"Campaign scenarios completed, all outcomes.")
+)

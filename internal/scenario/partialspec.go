@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"fsr/internal/spp"
+)
+
+// The partial-spec kind: gadget compositions whose glue deliberately
+// breaks the at-most-one-extension rule that makes gadget-splice verdicts
+// decidable by construction (see gadgets.go). An "overlap" glue node
+// ranks TWO extensions of existing permitted paths against each other;
+// that preference edge between previously unrelated cores can complete a
+// dispute cycle or stay harmless depending on the draw, so the generator
+// honestly declares ExpectAny and the campaign's value is purely the
+// analysis-vs-execution cross-check (partial specification: the outcome
+// classes still distinguish divergence and conservatism, but mismatch is
+// impossible by definition).
+
+// genPartialSpec implements the partial-spec kind.
+func genPartialSpec(seed int64) (*Scenario, error) {
+	rng := rand.New(rand.NewSource(seed))
+	name := fmt.Sprintf("partial-spec-%d", seed)
+	in, _, note := composeGadgets(name, rng, false)
+	// Candidate hosts are fixed before any overlap glue is added, so the
+	// draws below depend only on the composition, keeping generation
+	// deterministic per seed.
+	var hosts []spp.Node
+	for _, n := range in.Nodes {
+		if len(in.Permitted[n]) > 0 {
+			hosts = append(hosts, n)
+		}
+	}
+	nOverlap := 1 + rng.Intn(2)
+	for j := 0; j < nOverlap; j++ {
+		g := spp.Node("x" + strconv.Itoa(j))
+		h1 := hosts[rng.Intn(len(hosts))]
+		h2 := hosts[rng.Intn(len(hosts))]
+		e1 := in.Permitted[h1][rng.Intn(len(in.Permitted[h1]))]
+		e2 := in.Permitted[h2][rng.Intn(len(in.Permitted[h2]))]
+		in.AddSession(g, h1, 0)
+		if h2 != h1 {
+			in.AddSession(g, h2, 0)
+		}
+		via1 := append(spp.Path{g}, e1...)
+		via2 := append(spp.Path{g}, e2...)
+		if via1.Equal(via2) {
+			// Degenerate draw (same host, same path): substitute a direct
+			// origination so the ranking still holds two distinct paths.
+			via2 = spp.Path{g, spp.Node("rx" + strconv.Itoa(j))}
+		}
+		in.Rank(g, via1, via2)
+	}
+	return &Scenario{
+		Kind:     PartialSpec,
+		Seed:     seed,
+		Expected: ExpectAny,
+		Note:     fmt.Sprintf("%s, %d overlap glue node(s)", note, nOverlap),
+		Instance: in,
+	}, nil
+}

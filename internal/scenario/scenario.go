@@ -52,6 +52,11 @@ const (
 	// DivergentFixture is a deliberately mislabeled dispute composition used
 	// to exercise the divergence → shrink → corpus pipeline.
 	DivergentFixture Kind = "divergent-fixture"
+	// PartialSpec composes gadgets with overlap glue that ranks two path
+	// extensions against each other, making the verdict genuinely unknown
+	// at generation time (ExpectAny): the campaign cross-checks analysis
+	// against execution without a construction guarantee.
+	PartialSpec Kind = "partial-spec"
 )
 
 // Expectation is the verdict a generator guarantees by construction.
@@ -119,6 +124,7 @@ var generators = []struct {
 	{GaoRexford, genGaoRexford},
 	{IBGP, genIBGP},
 	{DivergentFixture, genDivergentFixture},
+	{PartialSpec, genPartialSpec},
 }
 
 // Kinds lists every registered generator kind.

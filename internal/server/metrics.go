@@ -10,253 +10,76 @@ package server
 import (
 	"fmt"
 	"net/http"
-	"sort"
 	"strings"
-	"sync"
+
+	"fsr/internal/obs"
 )
 
-// The observability surface is a hand-rolled subset of the Prometheus text
-// exposition format (counters, gauges, histograms, with labels): the repo
-// is dependency-free by policy, and the daemon only needs the write side —
-// a scraper cannot tell the difference.
-
-// labelSet renders label names/values as they appear inside the braces of
-// a sample line: `endpoint="verify",code="200"`. Series are keyed by this
-// rendering, which is stable because callers pass values positionally.
-func labelSet(names, vals []string) string {
-	if len(names) != len(vals) {
-		panic(fmt.Sprintf("metrics: %d label(s) want %d value(s)", len(names), len(vals)))
-	}
-	var b strings.Builder
-	for i, n := range names {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%s=%q", n, vals[i])
-	}
-	return b.String()
-}
-
-// counterVec is a monotonically increasing counter family.
-type counterVec struct {
-	name, help string
-	labels     []string
-	mu         sync.Mutex
-	vals       map[string]float64
-}
-
-func newCounterVec(name, help string, labels ...string) *counterVec {
-	return &counterVec{name: name, help: help, labels: labels, vals: map[string]float64{}}
-}
-
-func (c *counterVec) Add(delta float64, labelVals ...string) {
-	if delta < 0 {
-		panic("metrics: counter decrease")
-	}
-	key := labelSet(c.labels, labelVals)
-	c.mu.Lock()
-	c.vals[key] += delta
-	c.mu.Unlock()
-}
-
-func (c *counterVec) Inc(labelVals ...string) { c.Add(1, labelVals...) }
-
-// Value reads one series (zero if never touched) — for tests and the
-// daemon's own health reporting.
-func (c *counterVec) Value(labelVals ...string) float64 {
-	key := labelSet(c.labels, labelVals)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.vals[key]
-}
-
-func (c *counterVec) expose(b *strings.Builder) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
-	for _, key := range sortedKeys(c.vals) {
-		if key == "" {
-			fmt.Fprintf(b, "%s %v\n", c.name, c.vals[key])
-		} else {
-			fmt.Fprintf(b, "%s{%s} %v\n", c.name, key, c.vals[key])
-		}
-	}
-	if len(c.vals) == 0 && len(c.labels) == 0 {
-		fmt.Fprintf(b, "%s 0\n", c.name)
-	}
-}
-
-// gauge is a single settable value.
-type gauge struct {
-	name, help string
-	mu         sync.Mutex
-	val        float64
-}
-
-func newGauge(name, help string) *gauge { return &gauge{name: name, help: help} }
-
-func (g *gauge) Set(v float64) {
-	g.mu.Lock()
-	g.val = v
-	g.mu.Unlock()
-}
-
-func (g *gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.val
-}
-
-func (g *gauge) expose(b *strings.Builder) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", g.name, g.help, g.name, g.name, g.val)
-}
-
-// defBuckets spans sub-millisecond delta solves to multi-second full
-// rebuilds of paper-scale instances.
-var defBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
-
-// histogramVec is a cumulative-bucket histogram family.
-type histogramVec struct {
-	name, help string
-	labels     []string
-	buckets    []float64
-	mu         sync.Mutex
-	series     map[string]*histSeries
-}
-
-type histSeries struct {
-	counts []uint64 // one per bucket, cumulative at expose time only
-	sum    float64
-	count  uint64
-}
-
-func newHistogramVec(name, help string, labels ...string) *histogramVec {
-	return &histogramVec{name: name, help: help, labels: labels,
-		buckets: defBuckets, series: map[string]*histSeries{}}
-}
-
-func (h *histogramVec) Observe(v float64, labelVals ...string) {
-	key := labelSet(h.labels, labelVals)
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := h.series[key]
-	if s == nil {
-		s = &histSeries{counts: make([]uint64, len(h.buckets))}
-		h.series[key] = s
-	}
-	for i, ub := range h.buckets {
-		if v <= ub {
-			s.counts[i]++
-			break
-		}
-	}
-	s.sum += v
-	s.count++
-}
-
-// Count reads one series' observation count, for tests.
-func (h *histogramVec) Count(labelVals ...string) uint64 {
-	key := labelSet(h.labels, labelVals)
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if s := h.series[key]; s != nil {
-		return s.count
-	}
-	return 0
-}
-
-func (h *histogramVec) expose(b *strings.Builder) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
-	for _, key := range sortedKeys(h.series) {
-		s := h.series[key]
-		sep := ""
-		if key != "" {
-			sep = key + ","
-		}
-		cum := uint64(0)
-		for i, ub := range h.buckets {
-			cum += s.counts[i]
-			fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", h.name, sep, formatBound(ub), cum)
-		}
-		fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", h.name, sep, s.count)
-		if key == "" {
-			fmt.Fprintf(b, "%s_sum %v\n%s_count %d\n", h.name, s.sum, h.name, s.count)
-		} else {
-			fmt.Fprintf(b, "%s_sum{%s} %v\n%s_count{%s} %d\n", h.name, key, s.sum, h.name, key, s.count)
-		}
-	}
-}
-
-func formatBound(v float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
-}
-
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
+// The metric types are the shared internal/obs implementations — the
+// daemon's original hand-rolled registry moved there so the solver,
+// simulator, and campaign layers can record into the same format. The
+// daemon keeps its own per-Server instruments (a test can run two servers
+// without crosstalk), renders them first so the exposition stays
+// byte-compatible with earlier releases, and appends the process-global
+// obs registry after, which is how solver- and campaign-level series
+// reach the same scrape endpoint.
 
 // Metrics is the daemon's registry. All fields are safe for concurrent
 // use; Expose renders the whole registry in Prometheus text format.
 type Metrics struct {
 	// Requests counts HTTP requests per endpoint and status code.
-	Requests *counterVec
+	Requests *obs.CounterVec
 	// Latency is end-to-end HTTP handler latency per endpoint.
-	Latency *histogramVec
+	Latency *obs.HistogramVec
 	// Resident gauges the number of instances in the registry.
-	Resident *gauge
+	Resident *obs.Gauge
 	// DeltaSolves / FullSolves / CacheHits split how verifications were
 	// discharged by the solver layer: affected-region re-probe, full
 	// rebuild, or standing-result reuse.
-	DeltaSolves *counterVec
-	FullSolves  *counterVec
-	CacheHits   *counterVec
+	DeltaSolves *obs.CounterVec
+	FullSolves  *obs.CounterVec
+	CacheHits   *obs.CounterVec
 	// VerifyDuration is wall-clock verification latency by discharge mode
 	// (delta | full | cached).
-	VerifyDuration *histogramVec
+	VerifyDuration *obs.HistogramVec
 	// OracleMismatches counts -check-oracle disagreements between the
 	// delta path and the full-rebuild oracle; any nonzero value is a bug.
-	OracleMismatches *counterVec
+	OracleMismatches *obs.CounterVec
 }
 
 // NewMetrics returns a fresh registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		Requests:         newCounterVec("fsr_http_requests_total", "HTTP requests served.", "endpoint", "code"),
-		Latency:          newHistogramVec("fsr_http_request_duration_seconds", "HTTP request latency.", "endpoint"),
-		Resident:         newGauge("fsr_instances_resident", "Instances resident in the registry."),
-		DeltaSolves:      newCounterVec("fsr_delta_solves_total", "Verifications discharged by delta re-solving the affected region."),
-		FullSolves:       newCounterVec("fsr_full_solves_total", "Verifications discharged by a full constraint rebuild."),
-		CacheHits:        newCounterVec("fsr_solver_cache_hits_total", "Verifications answered from the standing solver result."),
-		VerifyDuration:   newHistogramVec("fsr_verify_duration_seconds", "Verification wall-clock latency by discharge mode.", "mode"),
-		OracleMismatches: newCounterVec("fsr_oracle_mismatches_total", "Delta-vs-full-rebuild verification disagreements (check-oracle mode)."),
+		Requests:         obs.NewCounterVec("fsr_http_requests_total", "HTTP requests served.", "endpoint", "code"),
+		Latency:          obs.NewHistogramVec("fsr_http_request_duration_seconds", "HTTP request latency.", "endpoint"),
+		Resident:         obs.NewGauge("fsr_instances_resident", "Instances resident in the registry."),
+		DeltaSolves:      obs.NewCounterVec("fsr_delta_solves_total", "Verifications discharged by delta re-solving the affected region."),
+		FullSolves:       obs.NewCounterVec("fsr_full_solves_total", "Verifications discharged by a full constraint rebuild."),
+		CacheHits:        obs.NewCounterVec("fsr_solver_cache_hits_total", "Verifications answered from the standing solver result."),
+		VerifyDuration:   obs.NewHistogramVec("fsr_verify_duration_seconds", "Verification wall-clock latency by discharge mode.", "mode"),
+		OracleMismatches: obs.NewCounterVec("fsr_oracle_mismatches_total", "Delta-vs-full-rebuild verification disagreements (check-oracle mode)."),
 	}
 }
 
-// Expose renders every metric in Prometheus text exposition format.
+// Expose renders every daemon metric in Prometheus text exposition
+// format, in the same field order as always.
 func (m *Metrics) Expose() string {
 	var b strings.Builder
-	m.Requests.expose(&b)
-	m.Latency.expose(&b)
-	m.Resident.expose(&b)
-	m.DeltaSolves.expose(&b)
-	m.FullSolves.expose(&b)
-	m.CacheHits.expose(&b)
-	m.VerifyDuration.expose(&b)
-	m.OracleMismatches.expose(&b)
+	m.Requests.Expose(&b)
+	m.Latency.Expose(&b)
+	m.Resident.Expose(&b)
+	m.DeltaSolves.Expose(&b)
+	m.FullSolves.Expose(&b)
+	m.CacheHits.Expose(&b)
+	m.VerifyDuration.Expose(&b)
+	m.OracleMismatches.Expose(&b)
 	return b.String()
 }
 
-// handler serves the registry as a scrape target.
+// handler serves the daemon registry followed by the process-global obs
+// registry (solver, simulator, and campaign series) as one scrape target.
 func (m *Metrics) handler(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, m.Expose())
+	fmt.Fprint(w, obs.Default().Expose())
 }

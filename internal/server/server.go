@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"regexp"
 	"sort"
 	"strconv"
@@ -26,6 +27,10 @@ type Options struct {
 	// pipeline and counts disagreements in fsr_oracle_mismatches_total —
 	// the daemon-mode form of the differential oracle the tests enforce.
 	CheckOracle bool
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set. Off by
+	// default: the profiling surface leaks heap contents and must be
+	// opted into on trusted listeners only.
+	Pprof bool
 	// Logf receives one line per request when non-nil.
 	Logf func(format string, args ...any)
 }
@@ -68,6 +73,7 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 //	POST /v1/instances/{id}/whatif  apply edits, re-verify, optionally discard
 //	GET  /healthz                   liveness
 //	GET  /metrics                   Prometheus text exposition
+//	     /debug/pprof/              runtime profiling (Options.Pprof only)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/instances", s.instrument("create", s.handleCreate))
@@ -77,7 +83,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/instances/{id}/whatif", s.instrument("whatif", s.handleWhatIf))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler))
+	if s.opts.Pprof {
+		MountPprof(mux)
+	}
 	return mux
+}
+
+// MountPprof registers the net/http/pprof handlers on mux under
+// /debug/pprof/. Shared by the daemon and by fsr campaign -metrics-addr.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // statusWriter captures the response code for instrumentation.

@@ -1,0 +1,22 @@
+// Simulator counters on the process-global obs registry, flushed once per
+// run (not per event) so the allocation-free event loop stays untouched.
+
+package simnet
+
+import "fsr/internal/obs"
+
+var (
+	obsEvents = obs.Default().Counter("fsr_simnet_events_total",
+		"Events popped from the simulation heap.")
+	obsArenaHighWater = obs.Default().Gauge("fsr_simnet_arena_high_water",
+		"Largest event-arena size reached by any simulation run.")
+)
+
+// flushObs records one finished (or aborted) resume loop: the events it
+// processed and the arena high-water mark it drove.
+func (n *Network) flushObs(processed int64) {
+	if processed > 0 {
+		obsEvents.Add(processed)
+	}
+	obsArenaHighWater.SetMax(float64(len(n.events)))
+}

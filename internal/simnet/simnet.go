@@ -307,11 +307,13 @@ func (n *Network) resume(ctx context.Context, horizon time.Duration) (RunResult,
 	for len(n.heap) > 0 {
 		if processed%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
+				n.flushObs(processed)
 				return RunResult{Converged: false, Time: n.now, Events: processed, Delivered: n.delivered}, err
 			}
 		}
 		if n.events[n.heap[0]].at > horizon {
 			n.now = horizon
+			n.flushObs(processed)
 			return RunResult{Converged: false, Time: horizon, Events: processed, Delivered: n.delivered}, nil
 		}
 		idx := n.heapPop()
@@ -337,6 +339,7 @@ func (n *Network) resume(ctx context.Context, horizon time.Duration) (RunResult,
 		processed++
 	}
 	n.collector.MarkConverged(lastEvent)
+	n.flushObs(processed)
 	return RunResult{Converged: true, Time: lastEvent, Events: processed, Delivered: n.delivered}, nil
 }
 

@@ -186,6 +186,7 @@ func (d *DeltaContext) Splice(at, del int, add []Assertion) error {
 	if at < 0 || del < 0 || at+del > len(d.asserts) {
 		return fmt.Errorf("smt: splice [%d:%d+%d] out of range 0..%d", at, at, del, len(d.asserts))
 	}
+	obsDeltaSplices.Inc()
 	d.resValid = false
 	// Normalize the additions once, up front.
 	norm := make([]Assertion, len(add))
@@ -385,11 +386,13 @@ func (d *DeltaContext) clearChanged() {
 func (d *DeltaContext) Check(ctx context.Context) (Result, error) {
 	if d.resValid {
 		d.stats.CacheHits++
+		obsCacheHits.Inc()
 		return d.res, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	defer d.e.flushStats()
 	start := time.Now()
 	d.stats.Checks++
 
@@ -461,6 +464,7 @@ func (d *DeltaContext) fullSolve(ctx context.Context, start time.Time) (Result, 
 	}
 	d.changed = d.changed[:0]
 	d.stats.FullSolves++
+	obsFullSolves.Inc()
 	d.stats.LastAffected = 0
 
 	res := Result{Stats: Stats{Assertions: len(d.asserts), Variables: len(e.idVar) - 1, Edges: len(e.edges)}}
@@ -505,6 +509,7 @@ func (d *DeltaContext) deltaSolve(ctx context.Context, start time.Time) (Result,
 		res := Result{Sat: true, Model: d.model(),
 			Stats: Stats{Assertions: len(d.asserts), Variables: len(e.idVar) - 1, Edges: len(e.edges), Duration: time.Since(start)}}
 		d.stats.DeltaSolves++
+		obsDeltaSolves.Inc()
 		d.stats.LastAffected = 0
 		d.stats.LastDuration = res.Stats.Duration
 		d.res, d.resValid = res, true
@@ -574,6 +579,7 @@ func (d *DeltaContext) deltaSolve(ctx context.Context, start time.Time) (Result,
 	res := Result{Sat: true, Model: d.model(),
 		Stats: Stats{Assertions: len(d.asserts), Variables: len(e.idVar) - 1, Edges: len(e.edges), Duration: time.Since(start)}}
 	d.stats.DeltaSolves++
+	obsDeltaSolves.Inc()
 	d.stats.LastAffected = nAff
 	d.stats.LastDuration = res.Stats.Duration
 	d.res, d.resValid = res, true

@@ -1,0 +1,48 @@
+// Solver introspection counters, exported through the process-global obs
+// registry (scraped by fsr serve's /metrics and by fsr campaign
+// -metrics-addr).
+//
+// The engine's inner loops count into plain int fields on the pooled
+// dlEngine — a register increment, invisible to the solve benchmarks —
+// and flushStats drains them into the atomic counters once per Check.
+// The DeltaContext-level counters (splices, delta vs full discharges)
+// mirror the per-context DeltaStats the daemon already reports.
+
+package smt
+
+import "fsr/internal/obs"
+
+var (
+	obsProbes = obs.Default().Counter("fsr_smt_probes_total",
+		"Satisfiability probes decided by the difference-logic engine.")
+	obsRelaxations = obs.Default().Counter("fsr_smt_relaxations_total",
+		"Successful edge relaxations across SPFA and Bellman-Ford passes.")
+	obsMinimizeIters = obs.Default().Counter("fsr_smt_minimize_iterations_total",
+		"Core-minimization deletion-loop iterations.")
+	obsDeltaSplices = obs.Default().Counter("fsr_smt_delta_splices_total",
+		"Assertion-list splices applied to delta contexts.")
+	obsDeltaSolves = obs.Default().Counter("fsr_smt_delta_solves_total",
+		"Delta-context checks discharged by the affected-region re-probe.")
+	obsFullSolves = obs.Default().Counter("fsr_smt_full_solves_total",
+		"Delta-context checks discharged by a full rebuild.")
+	obsCacheHits = obs.Default().Counter("fsr_smt_cache_hits_total",
+		"Delta-context checks answered from the memoized result.")
+)
+
+// flushStats drains the engine's locally accumulated loop counts into the
+// shared registry. Called once per Check (and per delta Check), so the
+// hot loops never touch an atomic.
+func (e *dlEngine) flushStats() {
+	if e.statProbes > 0 {
+		obsProbes.Add(int64(e.statProbes))
+		e.statProbes = 0
+	}
+	if e.statRelax > 0 {
+		obsRelaxations.Add(int64(e.statRelax))
+		e.statRelax = 0
+	}
+	if e.statMinIter > 0 {
+		obsMinimizeIters.Add(int64(e.statMinIter))
+		e.statMinIter = 0
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"slices"
 	"time"
+
+	"fsr/internal/obs"
 )
 
 // Var names an integer variable. Variables range over positive integers
@@ -227,6 +229,9 @@ func (s *Context) CheckContext(ctx context.Context) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	ctx, sp := obs.StartSpan(ctx, "solve")
+	sp.AttrInt("assertions", int64(len(s.asserts)))
+	defer sp.End()
 
 	// Phase 1: decide quantified assertions analytically.
 	for i := range s.asserts {
@@ -251,6 +256,7 @@ func (s *Context) CheckContext(ctx context.Context) (Result, error) {
 	// Phase 2+3: dense difference graph and SPFA on a pooled engine.
 	e := grabEngine(s.asserts)
 	defer e.release()
+	defer e.flushStats() // LIFO: drain the loop counts before pooling
 	res.Stats = Stats{Assertions: len(s.asserts), Variables: len(e.idVar) - 1, Edges: len(e.edges)}
 
 	if e.decide() {
@@ -259,7 +265,9 @@ func (s *Context) CheckContext(ctx context.Context) (Result, error) {
 		if s.NoMinimize {
 			coreIdx, res.UsesPositivity = e.cycleCore()
 		} else {
+			_, msp := obs.StartSpan(ctx, "minimize")
 			coreIdx, res.UsesPositivity, err = e.minimize(ctx, s.asserts)
+			msp.End()
 			if err != nil {
 				return Result{}, err
 			}

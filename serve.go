@@ -17,6 +17,9 @@ type ServeOptions struct {
 	// CheckOracle re-runs every verification through the full-rebuild
 	// pipeline and counts disagreements in fsr_oracle_mismatches_total.
 	CheckOracle bool
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiles expose heap contents, so enable only on trusted listeners.
+	Pprof bool
 	// Logf receives one line per request when non-nil.
 	Logf func(format string, args ...any)
 }
@@ -31,6 +34,7 @@ func NewServerHandler(opts ServeOptions) http.Handler {
 	return server.New(server.Options{
 		Gadget:      Gadget,
 		CheckOracle: opts.CheckOracle,
+		Pprof:       opts.Pprof,
 		Logf:        opts.Logf,
 	}).Handler()
 }

@@ -10,6 +10,7 @@ import (
 	"fsr/internal/analysis"
 	"fsr/internal/engine"
 	"fsr/internal/ndlog"
+	"fsr/internal/obs"
 	"fsr/internal/scenario"
 	"fsr/internal/simnet"
 	"fsr/internal/smt"
@@ -127,6 +128,9 @@ func (s *Session) RunnerName() string { return s.runner.Name() }
 // Analyze decides safety for a policy configuration, applying the
 // lexical-product composition rule (§IV), on the session's solver backend.
 func (s *Session) Analyze(ctx context.Context, a Algebra) (SafetyReport, error) {
+	ctx, sp := obs.StartSpan(ctx, "analyze")
+	sp.Attr("algebra", a.Name())
+	defer sp.End()
 	return analysis.AnalyzeSafetyWith(ctx, a, s.solver)
 }
 
