@@ -94,6 +94,9 @@ const (
 	ScenarioIBGP             = scenario.IBGP
 	ScenarioDivergentFixture = scenario.DivergentFixture
 	ScenarioPartialSpec      = scenario.PartialSpec
+	ScenarioChurnFlap        = scenario.ChurnFlap
+	ScenarioChurnStorm       = scenario.ChurnStorm
+	ScenarioChurnDispute     = scenario.ChurnDispute
 
 	ExpectAny    = scenario.ExpectAny
 	ExpectSafe   = scenario.ExpectSafe
@@ -114,6 +117,11 @@ func ScenarioKinds() []ScenarioKind { return scenario.Kinds() }
 // are named.
 func DefaultScenarioKinds() []ScenarioKind { return scenario.DefaultKinds() }
 
+// ChurnScenarioKinds is the fault-injection workload: every generator whose
+// scenarios carry a fault plan (link flaps, flap storms, partitions, node
+// restarts, mid-run policy changes).
+func ChurnScenarioKinds() []ScenarioKind { return scenario.ChurnKinds() }
+
 // ScenarioKindByName resolves a generator kind by name.
 func ScenarioKindByName(name string) (ScenarioKind, error) { return scenario.KindByName(name) }
 
@@ -129,3 +137,37 @@ func WriteScenarioCorpus(w io.Writer, entries []CorpusEntry) error {
 
 // ReadScenarioCorpus parses a JSON Lines corpus.
 func ReadScenarioCorpus(r io.Reader) ([]CorpusEntry, error) { return scenario.ReadCorpus(r) }
+
+// Fault injection. A FaultPlan is a deterministic, seed-derived schedule of
+// faults a simulated run injects mid-execution: link flaps, flap storms,
+// partitions, node restarts, and mid-run policy changes. Attach one to a
+// session with WithFaultPlan, or let the churn scenario kinds derive one
+// per scenario. Only the compiled simulation backend executes plans.
+
+type (
+	// FaultPlan is a time-ordered schedule of fault operations.
+	FaultPlan = engine.FaultPlan
+	// FaultOp is one scheduled fault operation.
+	FaultOp = engine.FaultOp
+	// FaultOpKind names a fault operation's type.
+	FaultOpKind = engine.FaultOpKind
+	// FaultPlanSpec parameterizes BuildFaultPlan.
+	FaultPlanSpec = engine.FaultPlanSpec
+)
+
+// Fault operation kinds.
+const (
+	FaultLinkDown       = engine.FaultLinkDown
+	FaultLinkUp         = engine.FaultLinkUp
+	FaultRestart        = engine.FaultRestart
+	FaultPolicyWithdraw = engine.FaultPolicyWithdraw
+	FaultPolicyRestore  = engine.FaultPolicyRestore
+)
+
+// BuildFaultPlan derives a deterministic fault schedule from a seed, the
+// node set, and the undirected session list. Equal inputs yield equal
+// plans, byte for byte — the property that keeps churn campaigns
+// reproducible.
+func BuildFaultPlan(seed int64, nodes []string, sessions [][2]string, spec FaultPlanSpec) *FaultPlan {
+	return engine.BuildFaultPlan(seed, nodes, sessions, spec)
+}

@@ -11,9 +11,9 @@
 //	fsr compile  [-config FILE | -builtin NAME | -spp NAME]   emit the NDlog program
 //	fsr yices    [-config FILE | -builtin NAME | -spp NAME]   emit the solver encoding
 //	fsr run      [-gadget NAME] [-runner B] [-horizon D] [-batch D]
-//	                                                          execute a gadget under GPV
-//	fsr campaign [-count N] [-seed S] [-kinds K,K] [-shard i/n] [-shrink]
-//	             [-corpus FILE | -replay FILE] [-trace-out FILE]
+//	             [-churn] [-churn-seed S] [-loss P]           execute a gadget under GPV
+//	fsr campaign [-count N] [-seed S] [-kinds K,K | -churn] [-shard i/n]
+//	             [-shrink] [-corpus FILE | -replay FILE] [-trace-out FILE]
 //	             [-metrics-addr HOST:PORT] [-quiet]           differential campaign
 //	fsr serve    [-addr HOST:PORT] [-check-oracle] [-pprof]   verification-as-a-service daemon
 //	fsr experiment <table1|table2|fig3|fig4|fig5|fig6|vic> [flags]
@@ -23,7 +23,8 @@
 // hop-count, backup. Built-in gadgets: goodgadget, badgadget, disagree,
 // fig3, fig3-fixed. Solver backends: native, yices-text. Runner backends:
 // sim, sim-ndlog, tcp. Scenario kinds: gadget-splice, gao-rexford, ibgp,
-// divergent-fixture, partial-spec.
+// divergent-fixture, partial-spec, churn-flap, churn-storm, churn-dispute
+// (the last three inject seed-derived fault plans; -churn selects them all).
 //
 // Observability: -trace-out writes a Chrome trace-event JSON file (open in
 // Perfetto) covering every pipeline span under the command; -metrics-addr
@@ -254,6 +255,7 @@ func cmdCampaign(args []string) error {
 	count := fs.Int("count", 64, "total number of scenarios across all shards")
 	seed := fs.Int64("seed", 1, "base seed; scenario i uses seed+i")
 	kindsFlag := fs.String("kinds", "", "comma-separated scenario kinds (default: gadget-splice,gao-rexford,ibgp)")
+	churn := fs.Bool("churn", false, "run the fault-injection workload (churn-flap, churn-storm, churn-dispute)")
 	shardFlag := fs.String("shard", "", "contiguous shard of the seed range, as i/n (e.g. 0/4)")
 	horizon := fs.Duration("horizon", 2*time.Second, "per-scenario simulation horizon (virtual time)")
 	deadline := fs.Duration("deadline", 0, "overall wall-clock deadline for the campaign (0 = none)")
@@ -275,7 +277,7 @@ func cmdCampaign(args []string) error {
 		var conflicting []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "count", "seed", "kinds", "shard", "horizon", "no-sim", "shrink", "corpus":
+			case "count", "seed", "kinds", "churn", "shard", "horizon", "no-sim", "shrink", "corpus":
 				conflicting = append(conflicting, "-"+f.Name)
 			}
 		})
@@ -359,7 +361,14 @@ func cmdCampaign(args []string) error {
 	if !*quiet {
 		spec.Progress = os.Stderr
 	}
-	if *kindsFlag != "" {
+	switch {
+	case *churn && *kindsFlag != "":
+		return fmt.Errorf("-churn is shorthand for -kinds churn-flap,churn-storm,churn-dispute; give one or the other")
+	case *churn && *noSim:
+		return fmt.Errorf("-churn scenarios classify by executing their fault plans; -no-sim would skip them")
+	case *churn:
+		spec.Kinds = fsr.ChurnScenarioKinds()
+	case *kindsFlag != "":
 		for _, name := range strings.Split(*kindsFlag, ",") {
 			kind, err := fsr.ScenarioKindByName(strings.TrimSpace(name))
 			if err != nil {
@@ -487,15 +496,40 @@ func cmdRun(args []string) error {
 	runnerName := fs.String("runner", "sim", "runner backend: sim|sim-ndlog|tcp")
 	horizon := fs.Duration("horizon", 5*time.Second, "simulation horizon")
 	batch := fs.Duration("batch", 20*time.Millisecond, "route propagation batch interval")
+	churn := fs.Bool("churn", false, "inject a seed-derived fault plan (link flaps, a restart) into the run")
+	churnSeed := fs.Int64("churn-seed", 1, "seed deriving the -churn fault plan")
+	loss := fs.Float64("loss", 0, "probabilistic per-message link loss rate in [0, 1)")
 	fs.Parse(args)
 	inst, err := fsr.Gadget(*gadget)
 	if err != nil {
 		return err
 	}
-	sess, err := sessionFromFlags("native", *runnerName,
+	opts := []fsr.Option{
 		fsr.WithHorizon(*horizon),
 		fsr.WithBatchWindow(*batch),
-	)
+	}
+	if *loss != 0 {
+		opts = append(opts, fsr.WithLinkLoss(*loss))
+	}
+	if *churn {
+		var nodes []string
+		for _, n := range inst.Nodes {
+			nodes = append(nodes, string(n))
+		}
+		var sessions [][2]string
+		seen := map[[2]string]bool{}
+		for _, l := range inst.Links {
+			a, b := string(l.From), string(l.To)
+			if seen[[2]string{a, b}] || seen[[2]string{b, a}] {
+				continue
+			}
+			seen[[2]string{a, b}] = true
+			sessions = append(sessions, [2]string{a, b})
+		}
+		plan := fsr.BuildFaultPlan(*churnSeed, nodes, sessions, fsr.FaultPlanSpec{Flaps: 2, Restarts: 1})
+		opts = append(opts, fsr.WithFaultPlan(plan))
+	}
+	sess, err := sessionFromFlags("native", *runnerName, opts...)
 	if err != nil {
 		return err
 	}
@@ -505,6 +539,13 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("%s [%s]: converged=%v time=%v messages=%d bytes=%d\n",
 		rep.Instance, rep.Runner, rep.Converged, rep.Time, rep.Messages, rep.Bytes)
+	if rep.Faults > 0 || rep.Dropped > 0 {
+		line := fmt.Sprintf("  faults=%d dropped=%d route-changes=%d", rep.Faults, rep.Dropped, rep.RouteChanges)
+		if rep.Faults > 0 && rep.Converged {
+			line += fmt.Sprintf(" reconverged=%v after last fault (at %v)", rep.Time-rep.LastFault, rep.LastFault)
+		}
+		fmt.Println(line)
+	}
 	for _, n := range inst.Nodes {
 		if best, ok := rep.Best[string(n)]; ok {
 			fmt.Printf("  %s → %v (%s)\n", n, best.Path, best.Sig)

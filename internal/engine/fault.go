@@ -1,0 +1,233 @@
+// FaultPlan: a deterministic, seed-derived schedule of faults a runner
+// injects into an execution — link flaps, flap storms, partitions, node
+// restarts, and mid-run policy changes (origination flaps). Plans are plain
+// data so campaign reports can print them and a replayed scenario rebuilds
+// the identical schedule from its seed.
+
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"fsr/internal/pathvector"
+	"fsr/internal/simnet"
+)
+
+// FaultOpKind enumerates plan operations.
+type FaultOpKind uint8
+
+const (
+	// FaultLinkDown takes session A–B down at At.
+	FaultLinkDown FaultOpKind = iota
+	// FaultLinkUp restores session A–B at At.
+	FaultLinkUp
+	// FaultRestart restarts node A at At.
+	FaultRestart
+	// FaultPolicyWithdraw disables node A's externally learned originations
+	// at At — a mid-run policy change pulling routes out of the network.
+	FaultPolicyWithdraw
+	// FaultPolicyRestore re-enables node A's originations at At.
+	FaultPolicyRestore
+)
+
+// String names the op kind for reports.
+func (k FaultOpKind) String() string {
+	switch k {
+	case FaultLinkDown:
+		return "link-down"
+	case FaultLinkUp:
+		return "link-up"
+	case FaultRestart:
+		return "restart"
+	case FaultPolicyWithdraw:
+		return "policy-withdraw"
+	case FaultPolicyRestore:
+		return "policy-restore"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// FaultOp is one scheduled fault. B is the second link endpoint for link
+// ops and empty otherwise.
+type FaultOp struct {
+	At   time.Duration
+	Kind FaultOpKind
+	A, B string
+}
+
+// String renders the op for reports and counterexample listings.
+func (op FaultOp) String() string {
+	if op.B != "" {
+		return fmt.Sprintf("%v %s %s–%s", op.At, op.Kind, op.A, op.B)
+	}
+	return fmt.Sprintf("%v %s %s", op.At, op.Kind, op.A)
+}
+
+// FaultPlan is a schedule of fault operations, ordered by time.
+type FaultPlan struct {
+	Ops []FaultOp
+}
+
+// LastFault returns the instant of the latest operation (zero for an empty
+// plan) — the moment after which a safe policy must re-converge.
+func (p *FaultPlan) LastFault() time.Duration {
+	var last time.Duration
+	if p != nil {
+		for _, op := range p.Ops {
+			if op.At > last {
+				last = op.At
+			}
+		}
+	}
+	return last
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *FaultPlan) Empty() bool { return p == nil || len(p.Ops) == 0 }
+
+// FaultPlanSpec sizes a generated plan. The zero value is a usable light
+// plan once any fault count is set.
+type FaultPlanSpec struct {
+	// Flaps is the number of independent link flaps (down, then up after a
+	// random outage).
+	Flaps int
+	// StormFlaps is the number of additional flaps compressed into a short
+	// burst — the flap-storm §VI-B's suspect set should light up under.
+	StormFlaps int
+	// Partitions is the number of network bipartitions (every crossing
+	// session down, then restored together).
+	Partitions int
+	// Restarts is the number of node restarts.
+	Restarts int
+	// PolicyChanges is the number of origination flaps (withdraw, then
+	// restore after a random outage).
+	PolicyChanges int
+	// Start is the earliest fault instant. Zero means 1 s.
+	Start time.Duration
+	// Window is the span faults are spread over, from Start. Zero means 3 s.
+	Window time.Duration
+	// MinOutage/MaxOutage bound each outage duration. Zero means
+	// 200 ms / 1 s.
+	MinOutage time.Duration
+	MaxOutage time.Duration
+}
+
+func (s FaultPlanSpec) withDefaults() FaultPlanSpec {
+	if s.Start <= 0 {
+		s.Start = time.Second
+	}
+	if s.Window <= 0 {
+		s.Window = 3 * time.Second
+	}
+	if s.MinOutage <= 0 {
+		s.MinOutage = 200 * time.Millisecond
+	}
+	if s.MaxOutage <= s.MinOutage {
+		s.MaxOutage = s.MinOutage + 800*time.Millisecond
+	}
+	return s
+}
+
+// BuildFaultPlan derives a fault schedule from the seed: identical inputs
+// yield the identical plan. nodes and sessions describe the topology the
+// plan runs against; ops referencing elements absent at run time (e.g.
+// after counterexample shrinking removed them) are skipped silently.
+func BuildFaultPlan(seed int64, nodes []string, sessions [][2]string, spec FaultPlanSpec) *FaultPlan {
+	spec = spec.withDefaults()
+	plan := &FaultPlan{}
+	if len(nodes) == 0 {
+		return plan
+	}
+	rng := rand.New(rand.NewSource(seed))
+	at := func(base time.Duration, span time.Duration) time.Duration {
+		return base + time.Duration(rng.Int63n(int64(span)))
+	}
+	outage := func() time.Duration {
+		return spec.MinOutage + time.Duration(rng.Int63n(int64(spec.MaxOutage-spec.MinOutage)))
+	}
+	flap := func(base, span time.Duration) {
+		if len(sessions) == 0 {
+			return
+		}
+		s := sessions[rng.Intn(len(sessions))]
+		down := at(base, span)
+		plan.Ops = append(plan.Ops,
+			FaultOp{At: down, Kind: FaultLinkDown, A: s[0], B: s[1]},
+			FaultOp{At: down + outage(), Kind: FaultLinkUp, A: s[0], B: s[1]})
+	}
+	for i := 0; i < spec.Flaps; i++ {
+		flap(spec.Start, spec.Window)
+	}
+	if spec.StormFlaps > 0 {
+		// The storm compresses its flaps into a quarter-window burst.
+		burst := spec.Window / 4
+		if burst <= 0 {
+			burst = spec.Window
+		}
+		start := at(spec.Start, spec.Window-burst+1)
+		for i := 0; i < spec.StormFlaps; i++ {
+			flap(start, burst)
+		}
+	}
+	for i := 0; i < spec.Partitions; i++ {
+		// A random bipartition with both sides non-empty; every crossing
+		// session fails and recovers together.
+		side := map[string]bool{}
+		for _, n := range nodes {
+			side[n] = rng.Intn(2) == 1
+		}
+		side[nodes[0]] = true
+		if len(nodes) > 1 {
+			side[nodes[len(nodes)-1]] = false
+		}
+		down := at(spec.Start, spec.Window)
+		up := down + outage()
+		for _, s := range sessions {
+			if side[s[0]] != side[s[1]] {
+				plan.Ops = append(plan.Ops,
+					FaultOp{At: down, Kind: FaultLinkDown, A: s[0], B: s[1]},
+					FaultOp{At: up, Kind: FaultLinkUp, A: s[0], B: s[1]})
+			}
+		}
+	}
+	for i := 0; i < spec.Restarts; i++ {
+		n := nodes[rng.Intn(len(nodes))]
+		plan.Ops = append(plan.Ops, FaultOp{At: at(spec.Start, spec.Window), Kind: FaultRestart, A: n})
+	}
+	for i := 0; i < spec.PolicyChanges; i++ {
+		n := nodes[rng.Intn(len(nodes))]
+		down := at(spec.Start, spec.Window)
+		plan.Ops = append(plan.Ops,
+			FaultOp{At: down, Kind: FaultPolicyWithdraw, A: n},
+			FaultOp{At: down + outage(), Kind: FaultPolicyRestore, A: n})
+	}
+	sort.SliceStable(plan.Ops, func(i, j int) bool { return plan.Ops[i].At < plan.Ops[j].At })
+	return plan
+}
+
+// applyPlan schedules the plan's operations on the network. Operations
+// referencing nodes or links the topology doesn't have are skipped — a
+// shrunk counterexample keeps its plan without re-deriving it.
+func applyPlan(net *simnet.Network, nodes map[simnet.NodeID]*pathvector.Node, plan *FaultPlan) {
+	for _, op := range plan.Ops {
+		a, b := simnet.NodeID(op.A), simnet.NodeID(op.B)
+		switch op.Kind {
+		case FaultLinkDown:
+			net.ScheduleFault(op.At, simnet.FaultEvent{Kind: simnet.FaultLinkDown, A: a, B: b})
+		case FaultLinkUp:
+			net.ScheduleFault(op.At, simnet.FaultEvent{Kind: simnet.FaultLinkUp, A: a, B: b})
+		case FaultRestart:
+			net.ScheduleFault(op.At, simnet.FaultEvent{Kind: simnet.FaultRestart, A: a})
+		case FaultPolicyWithdraw, FaultPolicyRestore:
+			n := nodes[a]
+			if n == nil {
+				continue
+			}
+			on := op.Kind == FaultPolicyRestore
+			net.ScheduleCall(op.At, a, func(env simnet.Env) { n.SetOriginationsEnabled(env, on) })
+		}
+	}
+}

@@ -48,6 +48,11 @@ type RunOptions struct {
 	IdleWindow time.Duration
 	// Collector receives traffic metrics; nil allocates a private one.
 	Collector *trace.Collector
+	// Plan schedules fault injection (link flaps, restarts, policy changes)
+	// into the run. Only the compiled simulation backend supports it; the
+	// interpreter and the TCP deployment reject non-empty plans (driving the
+	// same plan against DeployRunner is future groundwork).
+	Plan *FaultPlan
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -91,6 +96,21 @@ type RunReport struct {
 	// Best maps each instance node to its selected route for the implicit
 	// destination; nodes with no route are absent.
 	Best map[string]NodeRoute
+	// Dropped counts messages lost to injected faults or probabilistic link
+	// loss (simulation only).
+	Dropped int64
+	// Faults counts processed fault events; LastFault is the instant of the
+	// last one. Time − LastFault is the re-convergence time under churn when
+	// Converged.
+	Faults    int64
+	LastFault time.Duration
+	// RouteChanges sums every node's selection changes (compiled sim only) —
+	// the churn-severity measure campaign reports aggregate.
+	RouteChanges int64
+	// NodeChanges maps each node to its selection-change count (compiled sim
+	// only); under churn, the nodes with outsized counts are the oscillators
+	// the §VI-B suspect set should predict.
+	NodeChanges map[string]int64
 }
 
 // Runner executes a converted SPP instance on one backend. Implementations
@@ -124,8 +144,13 @@ func (r SimRunner) Run(ctx context.Context, conv *spp.Conversion, opts RunOption
 	opts = opts.withDefaults()
 	net := simnet.New(opts.Seed, opts.Collector)
 	best := map[string]NodeRoute{}
+	var nodeChanges map[string]int64
+	var routeChanges int64
 	var collect func()
 	if r.Interpreted {
+		if !opts.Plan.Empty() {
+			return nil, fmt.Errorf("engine: fault plans require the compiled sim backend, not %s", r.Name())
+		}
 		nodes, err := BuildSPP(net, conv, opts.Link, opts.BatchInterval, opts.StartStagger)
 		if err != nil {
 			return nil, err
@@ -145,11 +170,17 @@ func (r SimRunner) Run(ctx context.Context, conv *spp.Conversion, opts RunOption
 		if err != nil {
 			return nil, err
 		}
+		if !opts.Plan.Empty() {
+			applyPlan(net, nodes, opts.Plan)
+		}
 		collect = func() {
+			nodeChanges = map[string]int64{}
 			for id, n := range nodes {
 				if rt, ok := n.Best(pathvector.SPPDest); ok {
 					best[string(id)] = NodeRoute{Path: pathStrings(rt.Path), Sig: sigString(rt)}
 				}
+				nodeChanges[string(id)] = n.SelectionChanges()
+				routeChanges += n.SelectionChanges()
 			}
 		}
 	}
@@ -160,14 +191,19 @@ func (r SimRunner) Run(ctx context.Context, conv *spp.Conversion, opts RunOption
 	collect()
 	msgs, bytes := opts.Collector.Totals()
 	return &RunReport{
-		Runner:    r.Name(),
-		Instance:  conv.Instance.Name,
-		Converged: res.Converged,
-		Time:      res.Time,
-		Delivered: res.Delivered,
-		Messages:  msgs,
-		Bytes:     bytes,
-		Best:      best,
+		Runner:       r.Name(),
+		Instance:     conv.Instance.Name,
+		Converged:    res.Converged,
+		Time:         res.Time,
+		Delivered:    res.Delivered,
+		Messages:     msgs,
+		Bytes:        bytes,
+		Best:         best,
+		Dropped:      res.Dropped,
+		Faults:       res.Faults,
+		LastFault:    res.LastFault,
+		RouteChanges: routeChanges,
+		NodeChanges:  nodeChanges,
 	}, nil
 }
 
@@ -182,6 +218,9 @@ func (DeployRunner) Name() string { return "tcp" }
 // Run implements Runner.
 func (d DeployRunner) Run(ctx context.Context, conv *spp.Conversion, opts RunOptions) (*RunReport, error) {
 	opts = opts.withDefaults()
+	if !opts.Plan.Empty() {
+		return nil, fmt.Errorf("engine: fault plans are not yet supported by the %s backend", d.Name())
+	}
 	idle := opts.IdleWindow
 	if idle <= 0 {
 		idle = 200 * time.Millisecond

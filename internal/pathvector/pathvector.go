@@ -122,6 +122,14 @@ type Node struct {
 	// flushScheduled guards the batch timer.
 	flushScheduled bool
 	started        bool
+	// origsOff withholds Config.Originations (the mid-run policy-change
+	// fault; see SetOriginationsEnabled in churn.go).
+	origsOff bool
+	// changes counts selection changes across all destinations, cumulative
+	// across restarts; lastChange is the instant of the most recent one.
+	// Campaign drivers use them to spot oscillating nodes under churn.
+	changes    int64
+	lastChange time.Duration
 }
 
 var _ simnet.Handler = (*Node)(nil)
@@ -154,9 +162,11 @@ func (n *Node) Routes() int { return len(n.best) }
 func (n *Node) Start(env simnet.Env) {
 	start := func() {
 		n.started = true
-		for _, rt := range n.cfg.Originations {
-			n.routes[rt.Dest] = map[simnet.NodeID]Route{env.Self(): rt}
-			n.reselect(env, rt.Dest)
+		if !n.origsOff {
+			for _, rt := range n.cfg.Originations {
+				n.routes[rt.Dest] = map[simnet.NodeID]Route{env.Self(): rt}
+				n.reselect(env, rt.Dest)
+			}
 		}
 		if n.cfg.SelfOriginate {
 			self := env.Self()
@@ -281,6 +291,8 @@ func (n *Node) reselect(env simnet.Env, dest simnet.NodeID) {
 	default:
 		delete(n.best, dest)
 	}
+	n.changes++
+	n.lastChange = env.Now()
 	n.dirty[dest] = true
 	n.scheduleFlush(env)
 }

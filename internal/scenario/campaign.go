@@ -198,6 +198,43 @@ type Result struct {
 	Outcome Outcome
 	Note    string
 	Err     string
+	// Churn accounting, populated when the scenario carries a fault plan
+	// (and partially — Messages — for every simulated scenario).
+	FaultOps int   // operations in the scenario's fault plan
+	Faults   int64 // fault events the simulator processed
+	Dropped  int64 // messages lost to faults or probabilistic loss
+	Messages int   // delivered message load (collector total)
+	// ReconvergeTime is Time minus the last fault instant when the run
+	// converged under churn: how long the network needed to settle after
+	// the final injected fault.
+	ReconvergeTime time.Duration
+	// RouteChanges sums per-node selection changes during the run.
+	RouteChanges int64
+	// Suspects is the §VI-B suspect set (nodes the unsat core implicates)
+	// when the analysis proved the instance unsafe.
+	Suspects []string
+	// Oscillators are the nodes with the highest selection-change counts
+	// during execution — under churn, the suspect set should predict them.
+	Oscillators []string
+}
+
+// SuspectCoverage reports what fraction of the observed oscillators the
+// analysis' suspect set predicted (1 when there is nothing to predict).
+func (r Result) SuspectCoverage() float64 {
+	if len(r.Oscillators) == 0 {
+		return 1
+	}
+	inSuspects := map[string]bool{}
+	for _, s := range r.Suspects {
+		inSuspects[s] = true
+	}
+	hit := 0
+	for _, o := range r.Oscillators {
+		if inSuspects[o] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(r.Oscillators))
 }
 
 // String renders one line of the campaign report.
@@ -216,6 +253,14 @@ func (r Result) String() string {
 	}
 	s := fmt.Sprintf("#%d %s seed %d [%d nodes]: expected %s, verdict %s, %s → %s",
 		r.Index, r.Kind, r.Seed, r.Nodes, r.Expected, verdict, sim, r.Outcome)
+	if r.FaultOps > 0 {
+		s += fmt.Sprintf(" (churn: %d op(s), %d fault(s), %d dropped, %d msg(s)",
+			r.FaultOps, r.Faults, r.Dropped, r.Messages)
+		if r.ReconvergeTime > 0 {
+			s += fmt.Sprintf(", re-converged in %v", r.ReconvergeTime)
+		}
+		s += ")"
+	}
 	if r.Err != "" {
 		s += " (" + r.Err + ")"
 	}
@@ -258,6 +303,17 @@ func (r *Report) Tally() map[Outcome]int {
 	return t
 }
 
+// FaultTotals sums the churn accounting across all results: fault events
+// injected, messages dropped, and message load delivered.
+func (r *Report) FaultTotals() (faults, dropped int64, messages int) {
+	for _, res := range r.Results {
+		faults += res.Faults
+		dropped += res.Dropped
+		messages += res.Messages
+	}
+	return faults, dropped, messages
+}
+
 // Interesting returns the results worth human attention, in index order.
 func (r *Report) Interesting() []Result {
 	var out []Result
@@ -284,6 +340,10 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, "  %-12s %d\n", o, n)
 		}
 	}
+	if faults, dropped, messages := r.FaultTotals(); faults > 0 {
+		fmt.Fprintf(&b, "  faults injected: %d, messages dropped: %d, messages delivered: %d\n",
+			faults, dropped, messages)
+	}
 	for _, res := range r.Results {
 		// Findings and infrastructure failures both deserve a detail line.
 		if res.Outcome.Interesting() || res.Outcome == OutcomeTimeout || res.Outcome == OutcomeError {
@@ -299,47 +359,71 @@ func (r *Report) String() string {
 
 // evaluate runs the differential pipeline on one instance: §III-B
 // conversion, strict-monotonicity analysis, and (unless NoSim) a bounded
-// execution on the spec's runner. simSeed keys the execution's
-// deterministic randomness.
-func evaluate(ctx context.Context, in *spp.Instance, spec Spec, simSeed int64) (sat, simRan, converged bool, simTime time.Duration, err error) {
+// execution on the spec's runner, with plan's faults injected when non-nil.
+// simSeed keys the execution's deterministic randomness. suspects is the
+// §VI-B suspect set (the nodes the unsat core implicates) when the analysis
+// proves the instance unsafe; rep is nil when no execution ran.
+func evaluate(ctx context.Context, in *spp.Instance, spec Spec, simSeed int64, plan *engine.FaultPlan) (sat bool, suspects []string, rep *engine.RunReport, err error) {
 	actx, asp := obs.StartSpan(ctx, "analyze")
 	conv, err := in.ToAlgebra()
 	if err != nil {
 		asp.End()
-		return false, false, false, 0, err
+		return false, nil, nil, err
 	}
 	res, err := analysis.CheckWith(actx, conv.Algebra, analysis.StrictMonotonicity, spec.Solver)
 	asp.End()
 	if err != nil {
-		return false, false, false, 0, err
+		return false, nil, nil, err
 	}
 	sat = res.Sat
+	if !sat {
+		for _, n := range conv.SuspectNodes(res.Core) {
+			suspects = append(suspects, string(n))
+		}
+	}
 	if spec.NoSim {
-		return sat, false, false, 0, nil
+		return sat, suspects, nil, nil
 	}
 	if simSeed == 0 {
 		simSeed = 1
 	}
 	sctx, ssp := obs.StartSpan(ctx, "simulate")
-	rep, err := spec.Runner.Run(sctx, conv, engine.RunOptions{Seed: simSeed, Horizon: spec.Horizon})
+	rep, err = spec.Runner.Run(sctx, conv, engine.RunOptions{Seed: simSeed, Horizon: spec.Horizon, Plan: plan})
 	ssp.End()
 	if err != nil {
-		return sat, false, false, 0, err
+		return sat, suspects, nil, err
 	}
-	return sat, true, rep.Converged, rep.Time, nil
+	return sat, suspects, rep, nil
 }
 
-// runOne generates and evaluates the scenario at one global index.
-func runOne(ctx context.Context, spec Spec, index int) Result {
+// panicHook, when non-nil, runs at the start of every scenario evaluation.
+// It is the test seam for the worker panic-recovery path: a hook that
+// panics must surface as that scenario's OutcomeError, not kill the fleet.
+var panicHook func(index int)
+
+// runOne generates and evaluates the scenario at one global index. A panic
+// anywhere in generation, analysis, or simulation classifies the scenario
+// as OutcomeError with the panic value in the record — one pathological
+// scenario must not take down the whole campaign.
+func runOne(ctx context.Context, spec Spec, index int) (res Result) {
 	kind := spec.Kinds[index%len(spec.Kinds)]
 	seed := spec.BaseSeed + int64(index)
-	res := Result{Index: index, Kind: kind, Seed: seed}
+	res = Result{Index: index, Kind: kind, Seed: seed}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Outcome = OutcomeError
+			res.Err = fmt.Sprintf("panic: %v", p)
+		}
+	}()
 	sctx, cancel := context.WithTimeout(ctx, spec.ScenarioTimeout)
 	defer cancel()
 	sctx, sp := obs.StartSpan(sctx, "scenario")
 	sp.Attr("kind", string(kind))
 	sp.AttrInt("seed", seed)
 	defer sp.End()
+	if panicHook != nil {
+		panicHook(index)
+	}
 	_, gsp := obs.StartSpan(sctx, "generate")
 	sc, err := Generate(kind, seed)
 	gsp.End()
@@ -348,7 +432,10 @@ func runOne(ctx context.Context, spec Spec, index int) Result {
 		return res
 	}
 	res.Expected, res.Note, res.Nodes = sc.Expected, sc.Note, len(sc.Instance.Nodes)
-	sat, simRan, converged, simTime, err := evaluate(sctx, sc.Instance, spec, seed)
+	if sc.Plan != nil {
+		res.FaultOps = len(sc.Plan.Ops)
+	}
+	sat, suspects, rep, err := evaluate(sctx, sc.Instance, spec, seed, sc.Plan)
 	if err != nil {
 		if ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
 			res.Outcome = OutcomeTimeout
@@ -358,9 +445,52 @@ func runOne(ctx context.Context, spec Spec, index int) Result {
 		res.Err = err.Error()
 		return res
 	}
-	res.Sat, res.SimRan, res.Converged, res.SimTime = sat, simRan, converged, simTime
-	res.Outcome = classify(sc.Expected, sat, simRan, converged)
+	res.Sat, res.Suspects = sat, suspects
+	if rep != nil {
+		res.SimRan, res.Converged, res.SimTime = true, rep.Converged, rep.Time
+		res.Faults, res.Dropped, res.Messages = rep.Faults, rep.Dropped, rep.Messages
+		res.RouteChanges = rep.RouteChanges
+		if rep.Converged && rep.Faults > 0 {
+			res.ReconvergeTime = rep.Time - rep.LastFault
+		}
+		res.Oscillators = topOscillators(rep.NodeChanges, len(suspects))
+	}
+	res.Outcome = classify(sc.Expected, sat, res.SimRan, res.Converged)
 	return res
+}
+
+// topOscillators returns the k nodes with the highest selection-change
+// counts (at least 3, and only nodes that changed at all), most active
+// first — the execution-side observation the §VI-B suspect set should
+// predict under churn.
+func topOscillators(changes map[string]int64, k int) []string {
+	if k < 3 {
+		k = 3
+	}
+	type nc struct {
+		node string
+		n    int64
+	}
+	ranked := make([]nc, 0, len(changes))
+	for node, n := range changes {
+		if n > 0 {
+			ranked = append(ranked, nc{node, n})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].node < ranked[j].node
+	})
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	out := make([]string, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.node
+	}
+	return out
 }
 
 // Run executes a campaign: the shard's scenarios are claimed by a worker
@@ -503,6 +633,9 @@ func writeSummary(w io.Writer, rep *Report, elapsed time.Duration) {
 			fmt.Fprintf(w, "  %-12s %6d\n", o, n)
 		}
 	}
+	if faults, dropped, _ := rep.FaultTotals(); faults > 0 {
+		fmt.Fprintf(w, "  faults injected: %d, messages dropped: %d\n", faults, dropped)
+	}
 	if len(rep.Shrunk) > 0 {
 		fmt.Fprintf(w, "  %-12s %6d\n", "shrunk", len(rep.Shrunk))
 	}
@@ -527,13 +660,17 @@ func shrinkInteresting(ctx context.Context, spec Spec, rep *Report) error {
 		want := res
 		keep := func(kctx context.Context, cand *spp.Instance) (bool, error) {
 			// Candidates get the same per-scenario budget as the sweep, so one
-			// pathological mutation cannot hang the whole campaign.
+			// pathological mutation cannot hang the whole campaign. The
+			// scenario's fault plan rides along: ops whose nodes or links a
+			// mutation removed are skipped by the runner, so the churn
+			// conditions shrink with the topology.
 			tctx, cancel := context.WithTimeout(kctx, spec.ScenarioTimeout)
 			defer cancel()
-			sat, _, converged, _, err := evaluate(tctx, cand, spec, want.Seed)
+			sat, _, rep, err := evaluate(tctx, cand, spec, want.Seed, sc.Plan)
 			if err != nil {
 				return false, nil // a candidate that fails (or times out) is not a reproducer
 			}
+			converged := rep != nil && rep.Converged
 			return sat == want.Sat && converged == want.Converged, nil
 		}
 		shctx, ssp := obs.StartSpan(ctx, "shrink")

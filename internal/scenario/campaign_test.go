@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"context"
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -40,7 +42,7 @@ func TestCampaignThousandDeterministic(t *testing.T) {
 	}
 	a, b := stripTimes(first.Results), stripTimes(second.Results)
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("classification differs at #%d:\n  %s\n  %s", i, a[i], b[i])
 		}
 	}
@@ -62,6 +64,92 @@ func TestCampaignThousandDeterministic(t *testing.T) {
 			if !r.Sat || !r.Converged {
 				t.Errorf("violation-free scenario not proven safe and converged: %s", r)
 			}
+		}
+	}
+}
+
+// TestCampaignChurnDeterministic: a seeded churn campaign — every scenario
+// carrying a fault plan — classifies identically across two runs, down to
+// the fault totals, dropped counts, re-convergence times, and oscillator
+// sets. This is the property that makes a churn counterexample a
+// reportable artifact rather than a flake.
+func TestCampaignChurnDeterministic(t *testing.T) {
+	ctx := context.Background()
+	spec := Spec{Kinds: ChurnKinds(), Count: 60, BaseSeed: 11}
+	first, err := Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := stripTimes(first.Results), stripTimes(second.Results)
+	if len(a) != len(b) {
+		t.Fatalf("result counts %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("churn classification differs at #%d:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	faults, dropped, _ := first.FaultTotals()
+	if faults == 0 {
+		t.Fatal("churn campaign injected no faults")
+	}
+	f2, d2, _ := second.FaultTotals()
+	if faults != f2 || dropped != d2 {
+		t.Fatalf("fault totals differ: (%d, %d) vs (%d, %d)", faults, dropped, f2, d2)
+	}
+	for _, r := range first.Results {
+		if r.FaultOps == 0 {
+			t.Errorf("#%d (%s): churn scenario has an empty fault plan", r.Index, r.Kind)
+		}
+		if r.Faults == 0 {
+			t.Errorf("#%d (%s): no faults processed", r.Index, r.Kind)
+		}
+		if r.Expected == ExpectSafe {
+			if !r.Converged {
+				t.Errorf("#%d (%s): safe churn scenario did not re-converge: %s", r.Index, r.Kind, r)
+			}
+			// Zero is legitimate (a final fault that perturbs nothing settles
+			// instantly), but convergence can never predate the last fault.
+			if r.Converged && r.ReconvergeTime < 0 {
+				t.Errorf("#%d (%s): converged before the last fault (ReconvergeTime = %v)", r.Index, r.Kind, r.ReconvergeTime)
+			}
+		}
+	}
+}
+
+// TestCampaignPanicRecovery: a panic inside one scenario's evaluation is
+// confined to that scenario — it classifies as an error with the panic
+// value in Err, and every other scenario in the sweep completes normally.
+func TestCampaignPanicRecovery(t *testing.T) {
+	panicHook = func(index int) {
+		if index == 3 {
+			panic("injected test panic")
+		}
+	}
+	defer func() { panicHook = nil }()
+	rep, err := Run(context.Background(), Spec{Count: 8, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 8 {
+		t.Fatalf("got %d results, want 8", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Index == 3 {
+			if r.Outcome != OutcomeError {
+				t.Errorf("panicking scenario classified %s, want error", r.Outcome)
+			}
+			if r.Err == "" || !strings.Contains(r.Err, "injected test panic") {
+				t.Errorf("panic value not surfaced: %q", r.Err)
+			}
+			continue
+		}
+		if r.Outcome == OutcomeError {
+			t.Errorf("#%d: healthy scenario classified error: %s", r.Index, r.Err)
 		}
 	}
 }
@@ -88,7 +176,7 @@ func TestCampaignShardsPartition(t *testing.T) {
 		t.Fatalf("whole %d vs merged %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("shard partition differs at #%d:\n  %s\n  %s", i, a[i], b[i])
 		}
 	}

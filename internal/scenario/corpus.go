@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"fsr/internal/engine"
 	"fsr/internal/spp"
 )
 
@@ -239,19 +240,27 @@ func Replay(ctx context.Context, entries []CorpusEntry, spec Spec) ([]ReplayResu
 			espec.Horizon = time.Duration(e.HorizonNS)
 		}
 		espec.NoSim = e.NoSim
+		// Churn entries carry no plan on the wire: the plan is seed-derived,
+		// so regenerating the scenario from (kind, seed) rebuilds the exact
+		// fault schedule the recording ran under. Ops referencing nodes a
+		// shrunk instance no longer has are skipped by the runner.
+		var plan *engine.FaultPlan
+		if sc, err := Generate(Kind(e.Kind), e.Seed); err == nil {
+			plan = sc.Plan
+		}
 		// Corpus files are untrusted input (another shard, another machine,
 		// hand edits): give each entry the same per-scenario budget the
 		// sweep and the shrinker enforce.
 		ectx, cancel := context.WithTimeout(ctx, spec.ScenarioTimeout)
-		sat, _, converged, _, err := evaluate(ectx, in, espec, e.Seed)
+		sat, _, rep, err := evaluate(ectx, in, espec, e.Seed, plan)
 		cancel()
 		if err != nil {
 			rr.Err = err.Error()
 			out = append(out, rr)
 			continue
 		}
-		rr.Sat, rr.Converged = sat, converged
-		rr.Reproduced = sat == e.Sat && converged == e.Converged
+		rr.Sat, rr.Converged = sat, rep != nil && rep.Converged
+		rr.Reproduced = rr.Sat == e.Sat && rr.Converged == e.Converged
 		out = append(out, rr)
 	}
 	return out, nil

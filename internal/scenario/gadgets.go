@@ -74,20 +74,35 @@ func merge(dst, src *spp.Instance) {
 	}
 }
 
-// composeGadgets builds a spliced instance. When forceBad is set, at least
-// one dispute core is always included; otherwise cores are drawn uniformly.
+// coreMix selects how composeGadgets draws its cores.
+type coreMix int
+
+const (
+	// coreAny draws uniformly over all cores.
+	coreAny coreMix = iota
+	// coreForceBad guarantees at least one dispute core.
+	coreForceBad
+	// coreSafeOnly draws from the safe cores only — the churn kinds need
+	// compositions that are safe by construction.
+	coreSafeOnly
+)
+
+// composeGadgets builds a spliced instance; mix governs the core draw.
 // Returns the instance, whether a dispute core was spliced, and a
 // human-readable construction note.
-func composeGadgets(name string, rng *rand.Rand, forceBad bool) (*spp.Instance, bool, string) {
+func composeGadgets(name string, rng *rand.Rand, mix coreMix) (*spp.Instance, bool, string) {
 	in := spp.NewInstance(name)
 	nCores := 1 + rng.Intn(3)
 	bad := false
 	var parts []string
 	for i := 0; i < nCores; i++ {
 		var idx int
-		if forceBad && i == 0 {
+		switch {
+		case mix == coreForceBad && i == 0:
 			idx = badCoreIdx[rng.Intn(len(badCoreIdx))]
-		} else {
+		case mix == coreSafeOnly:
+			idx = safeCoreIdx[rng.Intn(len(safeCoreIdx))]
+		default:
 			idx = rng.Intn(len(coreBuilders))
 		}
 		core := coreBuilders[idx]
@@ -125,7 +140,7 @@ func composeGadgets(name string, rng *rand.Rand, forceBad bool) (*spp.Instance, 
 // genGadgetSplice implements the gadget-splice kind.
 func genGadgetSplice(seed int64) (*Scenario, error) {
 	rng := rand.New(rand.NewSource(seed))
-	in, bad, note := composeGadgets(fmt.Sprintf("gadget-splice-%d", seed), rng, false)
+	in, bad, note := composeGadgets(fmt.Sprintf("gadget-splice-%d", seed), rng, coreAny)
 	exp := ExpectSafe
 	if bad {
 		exp = ExpectUnsafe
@@ -141,7 +156,7 @@ func genGadgetSplice(seed int64) (*Scenario, error) {
 // pipeline.
 func genDivergentFixture(seed int64) (*Scenario, error) {
 	rng := rand.New(rand.NewSource(seed))
-	in, _, note := composeGadgets(fmt.Sprintf("divergent-%d", seed), rng, true)
+	in, _, note := composeGadgets(fmt.Sprintf("divergent-%d", seed), rng, coreForceBad)
 	return &Scenario{
 		Kind:     DivergentFixture,
 		Seed:     seed,

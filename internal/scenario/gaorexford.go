@@ -121,14 +121,16 @@ func findTriangle(adj map[string][]string) (a, b, c string, ok bool) {
 	return "", "", "", false
 }
 
-// genGaoRexford implements the gao-rexford kind.
-func genGaoRexford(seed int64) (*Scenario, error) {
-	rng := rand.New(rand.NewSource(seed))
+// buildGaoRexford derives the violation-free valley-free instance from the
+// seed — shared by genGaoRexford (which may then inject a violation) and
+// the churn-storm kind (which needs it safe). rng supplies the depth draw
+// so both callers consume the stream identically.
+func buildGaoRexford(name string, seed int64, rng *rand.Rand) (in *spp.Instance, g *topology.ASGraph, note string) {
 	depth := 2 + rng.Intn(3)
-	g := topology.GenerateHierarchy(seed, topology.HierarchyParams{Depth: depth, Width: 3})
+	g = topology.GenerateHierarchy(seed, topology.HierarchyParams{Depth: depth, Width: 3})
 	dest := fmt.Sprintf("as%d_0", depth)
 
-	in := spp.NewInstance(fmt.Sprintf("gao-rexford-%d", seed))
+	in = spp.NewInstance(name)
 	for _, n := range g.Nodes {
 		in.AddNode(spp.Node(n))
 	}
@@ -160,9 +162,17 @@ func genGaoRexford(seed int64) (*Scenario, error) {
 		}
 	}
 	in.Rank(spp.Node(dest), spp.P(dest, "r1"))
+	note = fmt.Sprintf("hierarchy depth %d, %d ASes, dest %s", depth, len(g.Nodes), dest)
+	return in, g, note
+}
 
-	sc := &Scenario{Kind: GaoRexford, Seed: seed, Expected: ExpectSafe, Instance: in}
-	sc.Note = fmt.Sprintf("hierarchy depth %d, %d ASes, dest %s", depth, len(g.Nodes), dest)
+// genGaoRexford implements the gao-rexford kind.
+func genGaoRexford(seed int64) (*Scenario, error) {
+	rng := rand.New(rand.NewSource(seed))
+	in, g, note := buildGaoRexford(fmt.Sprintf("gao-rexford-%d", seed), seed, rng)
+	adj := g.Adjacency()
+	class := g.ClassMap()
+	sc := &Scenario{Kind: GaoRexford, Seed: seed, Expected: ExpectSafe, Note: note, Instance: in}
 	if rng.Intn(2) == 1 {
 		sc.Expected = ExpectUnsafe
 		if u, v, w, ok := findTriangle(adj); ok && rng.Intn(2) == 0 {

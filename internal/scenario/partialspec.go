@@ -23,7 +23,7 @@ import (
 func genPartialSpec(seed int64) (*Scenario, error) {
 	rng := rand.New(rand.NewSource(seed))
 	name := fmt.Sprintf("partial-spec-%d", seed)
-	in, _, note := composeGadgets(name, rng, false)
+	in, _, note := composeGadgets(name, rng, coreAny)
 	// Candidate hosts are fixed before any overlap glue is added, so the
 	// draws below depend only on the composition, keeping generation
 	// deterministic per seed.

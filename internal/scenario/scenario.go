@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 
+	"fsr/internal/engine"
 	"fsr/internal/spp"
 )
 
@@ -57,6 +58,17 @@ const (
 	// at generation time (ExpectAny): the campaign cross-checks analysis
 	// against execution without a construction guarantee.
 	PartialSpec Kind = "partial-spec"
+	// ChurnFlap is a safe gadget composition run under a light seed-derived
+	// fault plan (a few link flaps, maybe a restart): the safe policy must
+	// re-converge after the last fault.
+	ChurnFlap Kind = "churn-flap"
+	// ChurnStorm is a violation-free Gao-Rexford hierarchy under a heavy
+	// plan (flap storm, a partition, restarts, a mid-run policy change).
+	ChurnStorm Kind = "churn-storm"
+	// ChurnDispute is a dispute-embedding composition under a flap storm:
+	// expected unsafe, and the §VI-B suspect set should predict the nodes
+	// observed oscillating.
+	ChurnDispute Kind = "churn-dispute"
 )
 
 // Expectation is the verdict a generator guarantees by construction.
@@ -109,6 +121,10 @@ type Scenario struct {
 	Note string
 	// Instance is the generated SPP instance.
 	Instance *spp.Instance
+	// Plan, when non-nil, is the seed-derived fault schedule the execution
+	// runs under (churn kinds). Regenerating the scenario from (Kind, Seed)
+	// rebuilds the identical plan.
+	Plan *engine.FaultPlan
 }
 
 // GeneratorFunc derives a scenario from a seed. Implementations must be
@@ -125,6 +141,9 @@ var generators = []struct {
 	{IBGP, genIBGP},
 	{DivergentFixture, genDivergentFixture},
 	{PartialSpec, genPartialSpec},
+	{ChurnFlap, genChurnFlap},
+	{ChurnStorm, genChurnStorm},
+	{ChurnDispute, genChurnDispute},
 }
 
 // Kinds lists every registered generator kind.
@@ -138,8 +157,13 @@ func Kinds() []Kind {
 
 // DefaultKinds is the mixed workload a campaign runs when none is named:
 // the three "honest" generators (divergent-fixture is opt-in, being a
-// deliberate self-test of the divergence pipeline).
+// deliberate self-test of the divergence pipeline; churn kinds are opt-in
+// via ChurnKinds).
 func DefaultKinds() []Kind { return []Kind{GadgetSplice, GaoRexford, IBGP} }
+
+// ChurnKinds is the fault-injection workload: every generator whose
+// scenarios carry a seed-derived FaultPlan.
+func ChurnKinds() []Kind { return []Kind{ChurnFlap, ChurnStorm, ChurnDispute} }
 
 // KindByName resolves a kind, erroring with the known names.
 func KindByName(name string) (Kind, error) {

@@ -48,12 +48,16 @@ func TestGeneratorGuarantees(t *testing.T) {
 			if err := sc.Instance.Validate(); err != nil {
 				t.Fatalf("%s/%d: invalid instance: %v", kind, seed, err)
 			}
-			sat, simRan, converged, _, err := evaluate(context.Background(), sc.Instance, spec, seed)
+			sat, _, rep, err := evaluate(context.Background(), sc.Instance, spec, seed, sc.Plan)
 			if err != nil {
 				t.Fatalf("%s/%d: evaluate: %v", kind, seed, err)
 			}
-			if !simRan {
+			if rep == nil {
 				t.Fatalf("%s/%d: simulation did not run", kind, seed)
+			}
+			converged := rep.Converged
+			if sc.Plan != nil && !sc.Plan.Empty() && rep.Faults == 0 {
+				t.Errorf("%s/%d: churn plan scheduled but no faults injected", kind, seed)
 			}
 			switch {
 			case kind == DivergentFixture:

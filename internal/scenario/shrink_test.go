@@ -43,10 +43,11 @@ func TestShrinkDivergentFixture(t *testing.T) {
 			t.Errorf("#%d: shrunk instance invalid: %v", sh.Index, err)
 		}
 		// The minimal instance still reproduces: unsat and non-converged.
-		sat, _, converged, _, err := evaluate(ctx, sh.Instance, spec.withDefaults(), rep.Results[sh.Index].Seed)
+		sat, _, srep, err := evaluate(ctx, sh.Instance, spec.withDefaults(), rep.Results[sh.Index].Seed, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
+		converged := srep != nil && srep.Converged
 		if sat || converged {
 			t.Errorf("#%d: shrunk instance lost the behavior (sat=%v converged=%v)", sh.Index, sat, converged)
 		}
@@ -95,7 +96,7 @@ func TestShrinkToCore(t *testing.T) {
 	}
 	spec := Spec{NoSim: true}.withDefaults()
 	keep := func(kctx context.Context, cand *spp.Instance) (bool, error) {
-		sat, _, _, _, err := evaluate(kctx, cand, spec, 1)
+		sat, _, _, err := evaluate(kctx, cand, spec, 1, nil)
 		if err != nil {
 			return false, nil
 		}

@@ -45,6 +45,10 @@ type Metrics struct {
 	// OracleMismatches counts -check-oracle disagreements between the
 	// delta path and the full-rebuild oracle; any nonzero value is a bug.
 	OracleMismatches *obs.CounterVec
+	// Panics counts handler panics recovered by the middleware, per
+	// endpoint. Any nonzero value is a bug, but a recovered one: the
+	// daemon answered 500 and stayed up.
+	Panics *obs.CounterVec
 }
 
 // NewMetrics returns a fresh registry.
@@ -58,6 +62,7 @@ func NewMetrics() *Metrics {
 		CacheHits:        obs.NewCounterVec("fsr_solver_cache_hits_total", "Verifications answered from the standing solver result."),
 		VerifyDuration:   obs.NewHistogramVec("fsr_verify_duration_seconds", "Verification wall-clock latency by discharge mode.", "mode"),
 		OracleMismatches: obs.NewCounterVec("fsr_oracle_mismatches_total", "Delta-vs-full-rebuild verification disagreements (check-oracle mode)."),
+		Panics:           obs.NewCounterVec("fsr_panics_total", "Handler panics recovered by the middleware.", "endpoint"),
 	}
 }
 
@@ -73,6 +78,7 @@ func (m *Metrics) Expose() string {
 	m.CacheHits.Expose(&b)
 	m.VerifyDuration.Expose(&b)
 	m.OracleMismatches.Expose(&b)
+	m.Panics.Expose(&b)
 	return b.String()
 }
 

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"regexp"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -99,30 +100,54 @@ func MountPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// statusWriter captures the response code for instrumentation.
+// statusWriter captures the response code for instrumentation and whether
+// the header was sent, so the panic middleware knows if a 500 can still go
+// out cleanly.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the request counter, the latency
-// histogram, and optional logging.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// instrument wraps a handler with panic recovery, the request counter, the
+// latency histogram, and optional logging. A panicking handler answers 500
+// (when the header hasn't gone out yet), increments fsr_panics_total, and
+// leaves the daemon serving — one poisoned request must not take down the
+// registry for everyone else.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.Panics.Inc(endpoint)
+				if s.opts.Logf != nil {
+					s.opts.Logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				}
+				if !sw.wrote {
+					writeErr(sw, http.StatusInternalServerError, "internal error")
+				}
+				sw.code = http.StatusInternalServerError
+			}
+			elapsed := time.Since(start)
+			s.metrics.Requests.Inc(endpoint, strconv.Itoa(sw.code))
+			s.metrics.Latency.Observe(elapsed.Seconds(), endpoint)
+			if s.opts.Logf != nil {
+				s.opts.Logf("%s %s → %d (%v)", r.Method, r.URL.Path, sw.code, elapsed.Round(time.Microsecond))
+			}
+		}()
 		h(sw, r)
-		elapsed := time.Since(start)
-		s.metrics.Requests.Inc(endpoint, strconv.Itoa(sw.code))
-		s.metrics.Latency.Observe(elapsed.Seconds(), endpoint)
-		if s.opts.Logf != nil {
-			s.opts.Logf("%s %s → %d (%v)", r.Method, r.URL.Path, sw.code, elapsed.Round(time.Microsecond))
-		}
 	}
 }
 

@@ -294,3 +294,77 @@ func TestServerErrors(t *testing.T) {
 		t.Errorf("healthz: code %d body %+v", code, health)
 	}
 }
+
+// TestServerPanicRecovery: a panicking handler answers 500, increments
+// fsr_panics_total for its endpoint, and leaves the daemon serving — the
+// next request on the same server succeeds.
+func TestServerPanicRecovery(t *testing.T) {
+	var logged []string
+	s := New(Options{Logf: func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /boom", s.instrument("boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	if code := call(t, "GET", ts.URL+"/boom", nil, &errBody); code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", code)
+	}
+	if errBody.Error == "" {
+		t.Error("panicking handler returned no error body")
+	}
+	if got := s.metrics.Panics.Value("boom"); got != 1 {
+		t.Errorf("fsr_panics_total{endpoint=boom} = %v, want 1", got)
+	}
+	found := false
+	for _, line := range logged {
+		if strings.Contains(line, "kaboom") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("panic value not logged")
+	}
+
+	// The daemon is still up, and the panic is visible on the scrape.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics after panic: status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `fsr_panics_total{endpoint="boom"} 1`) {
+		t.Error("fsr_panics_total missing from exposition")
+	}
+
+	// A panic after the header went out cannot rewrite the response; it is
+	// still counted.
+	mux.HandleFunc("GET /late", s.instrument("late", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		panic("late kaboom")
+	}))
+	resp2, err := http.Get(ts.URL + "/late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("late panic rewrote status to %d", resp2.StatusCode)
+	}
+	if got := s.metrics.Panics.Value("late"); got != 1 {
+		t.Errorf("fsr_panics_total{endpoint=late} = %v, want 1", got)
+	}
+}

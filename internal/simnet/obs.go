@@ -10,13 +10,33 @@ var (
 		"Events popped from the simulation heap.")
 	obsArenaHighWater = obs.Default().Gauge("fsr_simnet_arena_high_water",
 		"Largest event-arena size reached by any simulation run.")
+	obsFaults = obs.Default().Counter("fsr_simnet_faults_injected_total",
+		"Fault events processed (link down/up transitions and node restarts).")
+	obsDropped = obs.Default().Counter("fsr_simnet_msgs_dropped_total",
+		"Messages dropped by downed links, probabilistic loss, or restarts.")
+	obsRestarts = obs.Default().Counter("fsr_simnet_node_restarts_total",
+		"Node restarts processed.")
 )
 
 // flushObs records one finished (or aborted) resume loop: the events it
-// processed and the arena high-water mark it drove.
+// processed, the arena high-water mark it drove, and its fault totals.
+// Counters are flushed as deltas since the previous flush so resume can be
+// re-entered without double-counting.
 func (n *Network) flushObs(processed int64) {
 	if processed > 0 {
 		obsEvents.Add(processed)
 	}
 	obsArenaHighWater.SetMax(float64(len(n.events)))
+	if d := n.faults - n.flushedFaults; d > 0 {
+		obsFaults.Add(d)
+		n.flushedFaults = n.faults
+	}
+	if d := n.dropped - n.flushedDropped; d > 0 {
+		obsDropped.Add(d)
+		n.flushedDropped = n.dropped
+	}
+	if d := n.restarts - n.flushedRestarts; d > 0 {
+		obsRestarts.Add(d)
+		n.flushedRestarts = n.restarts
+	}
 }

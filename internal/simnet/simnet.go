@@ -66,6 +66,26 @@ type LinkConfig struct {
 	Latency   time.Duration
 	Jitter    time.Duration // uniform in [0, Jitter)
 	Bandwidth int64         // bits per second; 0 means infinite
+	// Loss is the per-message drop probability in [0, 1]: each transmission
+	// is independently lost with this probability (drawn from the network's
+	// seeded rng, so runs stay deterministic). Lost messages are counted in
+	// RunResult.Dropped.
+	Loss float64
+}
+
+// Validate rejects configurations no physical link can have.
+func (c LinkConfig) Validate() error {
+	switch {
+	case c.Latency < 0:
+		return fmt.Errorf("simnet: negative latency %v", c.Latency)
+	case c.Jitter < 0:
+		return fmt.Errorf("simnet: negative jitter %v", c.Jitter)
+	case c.Bandwidth < 0:
+		return fmt.Errorf("simnet: negative bandwidth %d", c.Bandwidth)
+	case c.Loss < 0 || c.Loss > 1 || c.Loss != c.Loss:
+		return fmt.Errorf("simnet: loss probability %v outside [0, 1]", c.Loss)
+	}
+	return nil
 }
 
 // DefaultLink reproduces the paper's standard link: 100 Mbps, 10 ms, no
@@ -78,9 +98,12 @@ func DefaultLink() LinkConfig {
 // hot kinds (delivery, timer) carry their payload inline, so scheduling a
 // message allocates nothing once the arena is warm.
 const (
-	evStart   = iota // invoke handler.Start on node
-	evTimer          // run fn (protocol timer)
-	evDeliver        // deliver payload from → node
+	evStart    = iota // invoke handler.Start on node
+	evTimer           // run fn (protocol timer)
+	evDeliver         // deliver payload from → node
+	evLinkDown        // fault: take the node↔from link down
+	evLinkUp          // fault: bring the node↔from link back up
+	evRestart         // fault: clear node's handler state and re-Start it
 )
 
 // event is one scheduled occurrence, stored by value in the arena.
@@ -88,18 +111,25 @@ type event struct {
 	at      time.Duration
 	seq     int64 // tie-break for determinism
 	kind    uint8
-	node    int32 // target node index (start target, delivery receiver)
-	from    int32 // delivery sender index
-	size    int32 // delivery wire size
+	node    int32  // target node index (start/restart target, delivery receiver, fault endpoint a)
+	from    int32  // delivery sender index; fault endpoint b
+	size    int32  // delivery wire size
+	li      int32  // delivery: index of the sender's outgoing link
+	epoch   uint32 // delivery: the link epoch the message was sent under
 	payload any
 	fn      func()
 }
 
-// link is one directed link with its serialization queue state.
+// link is one directed link with its serialization queue state and dynamic
+// up/down fault state.
 type link struct {
 	cfg       LinkConfig
 	busyUntil time.Duration // FIFO serialization: next transmission start
 	dst       int32         // receiver node index
+	down      bool          // fault state: messages are dropped while down
+	epoch     uint32        // incremented on every down transition; in-flight
+	// deliveries carry the epoch they were sent under and are dropped on
+	// mismatch — a downed link loses what was on the wire.
 }
 
 // node is a simulated node.
@@ -130,6 +160,16 @@ type Network struct {
 	rng       *rand.Rand
 	collector *trace.Collector
 	delivered int64
+
+	// Fault accounting (see fault.go). The flushed* shadows track what has
+	// already been pushed to the obs counters, so flushObs adds deltas.
+	faults          int64         // fault events processed (link down/up, restarts)
+	restarts        int64         // node restarts processed
+	dropped         int64         // messages dropped by faults or probabilistic loss
+	lastFault       time.Duration // instant of the last processed fault event
+	flushedFaults   int64
+	flushedRestarts int64
+	flushedDropped  int64
 }
 
 // New creates an empty simulated network with the given seed and metric
@@ -171,8 +211,16 @@ func (n *Network) AddNode(id NodeID, h Handler) error {
 }
 
 // Connect creates a bidirectional link between two existing nodes with the
-// same configuration in both directions.
+// same configuration in both directions. Self-links, duplicate links, and
+// physically impossible configurations (negative latency/jitter/bandwidth,
+// loss outside [0, 1]) are rejected.
 func (n *Network) Connect(a, b NodeID, cfg LinkConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("%w (link %s–%s)", err, a, b)
+	}
+	if a == b {
+		return fmt.Errorf("simnet: self-link %s–%s", a, b)
+	}
 	na, nb := n.nodes[a], n.nodes[b]
 	if na == nil || nb == nil {
 		return fmt.Errorf("simnet: connect %s–%s: unknown node", a, b)
@@ -274,6 +322,16 @@ type RunResult struct {
 	Events int64
 	// Delivered is the number of delivered protocol messages.
 	Delivered int64
+	// Dropped counts messages lost to faults: sent on (or in flight over) a
+	// downed link, lost to probabilistic link loss, or voided by a node
+	// restart.
+	Dropped int64
+	// Faults counts processed fault events (link down/up, node restarts).
+	Faults int64
+	// LastFault is the instant of the last processed fault event (zero when
+	// Faults is zero). Time − LastFault is the re-convergence time under
+	// churn when Converged.
+	LastFault time.Duration
 }
 
 // Run starts every handler and processes events until quiescence or until
@@ -300,6 +358,15 @@ func (n *Network) RunContext(ctx context.Context, horizon time.Duration) (RunRes
 // that the atomic load cost is invisible.
 const ctxCheckInterval = 64
 
+// result assembles a RunResult from the loop state.
+func (n *Network) result(converged bool, t time.Duration, processed int64) RunResult {
+	return RunResult{
+		Converged: converged, Time: t, Events: processed,
+		Delivered: n.delivered, Dropped: n.dropped,
+		Faults: n.faults, LastFault: n.lastFault,
+	}
+}
+
 // resume continues processing (used by Run and by tests that inject events).
 func (n *Network) resume(ctx context.Context, horizon time.Duration) (RunResult, error) {
 	var processed int64
@@ -308,13 +375,13 @@ func (n *Network) resume(ctx context.Context, horizon time.Duration) (RunResult,
 		if processed%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				n.flushObs(processed)
-				return RunResult{Converged: false, Time: n.now, Events: processed, Delivered: n.delivered}, err
+				return n.result(false, n.now, processed), err
 			}
 		}
 		if n.events[n.heap[0]].at > horizon {
 			n.now = horizon
 			n.flushObs(processed)
-			return RunResult{Converged: false, Time: horizon, Events: processed, Delivered: n.delivered}, nil
+			return n.result(false, horizon, processed), nil
 		}
 		idx := n.heapPop()
 		ev := n.events[idx]     // copy out: dispatch below may grow the arena
@@ -331,16 +398,30 @@ func (n *Network) resume(ctx context.Context, horizon time.Duration) (RunResult,
 		case evTimer:
 			ev.fn()
 		case evDeliver:
+			from := n.byIdx[ev.from]
+			l := &from.links[ev.li]
+			if l.down || l.epoch != ev.epoch {
+				// The link went down while the message was on the wire (or is
+				// still down): the delivery is lost.
+				n.dropped++
+				break
+			}
 			dst := n.byIdx[ev.node]
 			n.collector.RecordRecv(string(dst.id), int(ev.size))
 			n.delivered++
-			dst.handler.Receive(dst.env, n.byIdx[ev.from].id, ev.payload)
+			dst.handler.Receive(dst.env, from.id, ev.payload)
+		case evLinkDown:
+			n.applyLinkState(ev.node, ev.from, false)
+		case evLinkUp:
+			n.applyLinkState(ev.node, ev.from, true)
+		case evRestart:
+			n.applyRestart(ev.node)
 		}
 		processed++
 	}
 	n.collector.MarkConverged(lastEvent)
 	n.flushObs(processed)
-	return RunResult{Converged: true, Time: lastEvent, Events: processed, Delivered: n.delivered}, nil
+	return n.result(true, lastEvent, processed), nil
 }
 
 // deliver models the link: FIFO serialization at the sender, then
@@ -354,6 +435,17 @@ func (n *Network) deliver(from *node, to NodeID, payload any, size int) {
 	}
 	l := &from.links[li]
 	n.collector.RecordSend(string(from.id), size, n.now)
+	if l.down {
+		// The sender doesn't know the link is down (no control plane in the
+		// simulator): the transmission is silently lost, like a frame sent
+		// into a dead cable.
+		n.dropped++
+		return
+	}
+	if l.cfg.Loss > 0 && n.rng.Float64() < l.cfg.Loss {
+		n.dropped++
+		return
+	}
 	txStart := n.now
 	if l.busyUntil > txStart {
 		txStart = l.busyUntil
@@ -374,6 +466,8 @@ func (n *Network) deliver(from *node, to NodeID, payload any, size int) {
 		node:    l.dst,
 		from:    from.idx,
 		size:    int32(size),
+		li:      li,
+		epoch:   l.epoch,
 		payload: payload,
 	})
 }

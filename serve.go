@@ -22,6 +22,10 @@ type ServeOptions struct {
 	Pprof bool
 	// Logf receives one line per request when non-nil.
 	Logf func(format string, args ...any)
+	// ShutdownTimeout bounds the graceful drain after the context is
+	// cancelled: in-flight requests get this long to finish before the
+	// remaining connections are closed (default 5s).
+	ShutdownTimeout time.Duration
 }
 
 // NewServerHandler returns the verification daemon's http.Handler: a
@@ -40,19 +44,37 @@ func NewServerHandler(opts ServeOptions) http.Handler {
 }
 
 // Serve runs the verification daemon until the context is cancelled, then
-// shuts down gracefully. The listener is bound before Serve returns to its
-// serving loop, so a caller that sees no immediate error can start issuing
-// requests.
+// drains gracefully: in-flight requests get ShutdownTimeout to finish, and
+// whatever is still open after that is closed hard. The listener is bound
+// before Serve returns to its serving loop, so a caller that sees no
+// immediate error can start issuing requests. The server carries header,
+// read, write, and idle timeouts so a stalled or malicious peer cannot
+// pin a connection (and its handler goroutine) forever.
 func Serve(ctx context.Context, opts ServeOptions) error {
 	addr := opts.Addr
 	if addr == "" {
 		addr = "127.0.0.1:8080"
 	}
+	drain := opts.ShutdownTimeout
+	if drain <= 0 {
+		drain = 5 * time.Second
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: NewServerHandler(opts)}
+	srv := &http.Server{
+		Handler: NewServerHandler(opts),
+		// Slowloris guard: a peer must finish its header block quickly …
+		ReadHeaderTimeout: 5 * time.Second,
+		// … and its body within the read window. Verify bodies are bounded
+		// (8 MiB) so 30 s is generous on any sane link.
+		ReadTimeout: 30 * time.Second,
+		// WriteTimeout caps handler + response time; the solver's own
+		// per-request work is far below this on every shipped gadget.
+		WriteTimeout: 60 * time.Second,
+		IdleTimeout:  120 * time.Second,
+	}
 	if opts.Logf != nil {
 		opts.Logf("fsr serve: listening on http://%s", ln.Addr())
 	}
@@ -60,9 +82,12 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 	go func() { done <- srv.Serve(ln) }()
 	select {
 	case <-ctx.Done():
-		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
+			// Drain deadline exceeded: close the stragglers and report the
+			// unclean exit instead of leaking the connections.
+			srv.Close()
 			return err
 		}
 		<-done // always http.ErrServerClosed after Shutdown

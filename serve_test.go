@@ -1,0 +1,62 @@
+package fsr
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeGracefulShutdown: the daemon binds, answers, and drains cleanly
+// when its context is cancelled — the SIGINT/SIGTERM path `fsr serve` runs.
+func TestServeGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(ctx, ServeOptions{
+			Addr:            "127.0.0.1:0",
+			ShutdownTimeout: 2 * time.Second,
+			Logf: func(format string, args ...any) {
+				line := fmt.Sprintf(format, args...)
+				if rest, ok := strings.CutPrefix(line, "fsr serve: listening on http://"); ok {
+					select {
+					case addrCh <- rest:
+					default:
+					}
+				}
+			},
+		})
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("serve exited before binding: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not bind within 5s")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not drain within 5s")
+	}
+}

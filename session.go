@@ -34,6 +34,9 @@ type Session struct {
 	idle        time.Duration
 	link        simnet.LinkConfig
 	linkSet     bool
+	loss        float64
+	lossSet     bool
+	plan        *engine.FaultPlan
 	parallelism int
 	collector   *trace.Collector
 }
@@ -83,6 +86,21 @@ func WithLink(latency time.Duration, bandwidthBps int64) Option {
 		o.linkSet = true
 	}
 }
+
+// WithLinkLoss sets the probabilistic per-message loss rate on every
+// simulated link, in [0, 1), on top of whatever link shape is configured
+// (WithLink or the default). Losses draw from the run's seeded RNG, so
+// equal seeds lose the same messages. Deployment runners ignore it.
+func WithLinkLoss(p float64) Option {
+	return func(o *Session) { o.loss = p; o.lossSet = true }
+}
+
+// WithFaultPlan schedules fault injection — link flaps, partitions, node
+// restarts, mid-run policy changes — into every Run on the session. Build
+// a deterministic plan with BuildFaultPlan or assemble FaultOps by hand.
+// Only the compiled simulation runner executes plans; the interpreter and
+// the TCP deployment reject sessions carrying one.
+func WithFaultPlan(p *FaultPlan) Option { return func(o *Session) { o.plan = p } }
 
 // WithTrace attaches a traffic collector; the same collector accumulates
 // across every Run on the session, and RunReport totals are read from it.
@@ -296,14 +314,25 @@ func (s *Session) RunConversion(ctx context.Context, conv *SPPConversion) (*RunR
 	if !s.staggerSet {
 		stagger = s.batch / 2
 	}
+	link, linkSet := s.link, s.linkSet
+	if s.lossSet {
+		// Loss composes with the link shape: apply it over the default link
+		// when no explicit shape was chosen.
+		if !linkSet && link == (simnet.LinkConfig{}) {
+			link = simnet.DefaultLink()
+		}
+		link.Loss = s.loss
+		linkSet = true
+	}
 	return s.runner.Run(ctx, conv, engine.RunOptions{
 		Seed:          s.seed,
-		Link:          s.link,
-		LinkExplicit:  s.linkSet,
+		Link:          link,
+		LinkExplicit:  linkSet,
 		BatchInterval: s.batch,
 		StartStagger:  stagger,
 		Horizon:       s.horizon,
 		IdleWindow:    s.idle,
 		Collector:     s.collector,
+		Plan:          s.plan,
 	})
 }

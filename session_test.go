@@ -295,6 +295,83 @@ func TestSessionTraceCollector(t *testing.T) {
 	}
 }
 
+// TestSessionFaultPlan: a session-attached fault plan injects into every
+// run on the compiled sim backend, the run re-converges after the last
+// fault on a safe instance, and the other backends reject plans loudly.
+func TestSessionFaultPlan(t *testing.T) {
+	ctx := context.Background()
+	in := mustGadget(t, "goodgadget")
+	var nodes []string
+	for _, n := range in.Nodes {
+		nodes = append(nodes, string(n))
+	}
+	var sessions [][2]string
+	seen := map[[2]string]bool{}
+	for _, l := range in.Links {
+		a, b := string(l.From), string(l.To)
+		if seen[[2]string{a, b}] || seen[[2]string{b, a}] {
+			continue
+		}
+		seen[[2]string{a, b}] = true
+		sessions = append(sessions, [2]string{a, b})
+	}
+	plan := BuildFaultPlan(7, nodes, sessions, FaultPlanSpec{Flaps: 2, Restarts: 1})
+	if plan.Empty() {
+		t.Fatal("BuildFaultPlan produced an empty plan")
+	}
+	sess := NewSession(WithFaultPlan(plan), WithHorizon(20*time.Second))
+	rep, err := sess.Run(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults == 0 {
+		t.Error("no fault events processed")
+	}
+	if !rep.Converged {
+		t.Errorf("safe instance did not re-converge under the plan: %+v", rep)
+	}
+	if rep.Time < rep.LastFault {
+		t.Errorf("converged at %v, before the last fault at %v", rep.Time, rep.LastFault)
+	}
+	again, err := sess.Run(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults != again.Faults || rep.Dropped != again.Dropped || rep.Time != again.Time {
+		t.Errorf("churn run not reproducible: %+v vs %+v", rep, again)
+	}
+	for _, r := range []RunnerBackend{NDlogRunner(), DeploymentRunner()} {
+		bad := NewSession(WithFaultPlan(plan), WithRunner(r))
+		if _, err := bad.Run(ctx, in); err == nil {
+			t.Errorf("%s backend accepted a fault plan", r.Name())
+		}
+	}
+}
+
+// TestSessionLinkLoss: probabilistic loss drops messages deterministically
+// under a fixed seed, and an out-of-range rate is rejected.
+func TestSessionLinkLoss(t *testing.T) {
+	ctx := context.Background()
+	run := func() *RunReport {
+		sess := NewSession(WithLinkLoss(0.4), WithSeed(5), WithHorizon(20*time.Second))
+		rep, err := sess.Run(ctx, Figure3IBGPFixed())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Dropped == 0 {
+		t.Error("40% loss dropped nothing")
+	}
+	if a.Dropped != b.Dropped || a.Messages != b.Messages || a.Time != b.Time {
+		t.Errorf("lossy runs diverged under one seed: %+v vs %+v", a, b)
+	}
+	if _, err := NewSession(WithLinkLoss(1.5)).Run(ctx, Figure3IBGPFixed()); err == nil {
+		t.Error("loss rate 1.5 accepted")
+	}
+}
+
 func mustGadget(t *testing.T, name string) *SPPInstance {
 	t.Helper()
 	inst, err := Gadget(name)
@@ -393,7 +470,7 @@ func TestSessionCampaign(t *testing.T) {
 	for i := range rep.Results {
 		a, b := rep.Results[i], again.Results[i]
 		a.SimTime, b.SimTime = 0, 0
-		if a != b {
+		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("campaign not deterministic at #%d:\n  %s\n  %s", i, a, b)
 		}
 	}
