@@ -31,10 +31,19 @@ func NativeSolver() SolverBackend { return smt.Native{} }
 // Yices binary.
 func YicesTextSolver() SolverBackend { return smt.YicesText{} }
 
+// SCCSolver returns the SCC-decomposed native backend: the constraint
+// digraph is condensed with Tarjan's algorithm and each strongly connected
+// component is solved independently (in parallel across components on
+// multi-core hosts), with verdicts, models, and minimized cores identical
+// to NativeSolver. Sessions holding this backend also take the dense
+// internet-scale fast path for large SPP instances.
+func SCCSolver() SolverBackend { return smt.Decomposed{} }
+
 // SolverBackends returns every built-in solver backend.
 func SolverBackends() []SolverBackend { return smt.Backends() }
 
-// SolverBackendByName resolves "native" or "yices-text" (alias "yices").
+// SolverBackendByName resolves "native", "native-scc" (alias "scc"), or
+// "yices-text" (alias "yices").
 func SolverBackendByName(name string) (SolverBackend, error) { return smt.SolverByName(name) }
 
 // RunnerBackend executes a converted SPP instance. Implementations:
@@ -89,14 +98,16 @@ type (
 
 // Scenario generator kinds and campaign outcome classes.
 const (
-	ScenarioGadgetSplice     = scenario.GadgetSplice
-	ScenarioGaoRexford       = scenario.GaoRexford
-	ScenarioIBGP             = scenario.IBGP
-	ScenarioDivergentFixture = scenario.DivergentFixture
-	ScenarioPartialSpec      = scenario.PartialSpec
-	ScenarioChurnFlap        = scenario.ChurnFlap
-	ScenarioChurnStorm       = scenario.ChurnStorm
-	ScenarioChurnDispute     = scenario.ChurnDispute
+	ScenarioGadgetSplice       = scenario.GadgetSplice
+	ScenarioGaoRexford         = scenario.GaoRexford
+	ScenarioIBGP               = scenario.IBGP
+	ScenarioGaoRexfordInternet = scenario.GaoRexfordInternet
+	ScenarioLexicalProduct     = scenario.LexicalProduct
+	ScenarioDivergentFixture   = scenario.DivergentFixture
+	ScenarioPartialSpec        = scenario.PartialSpec
+	ScenarioChurnFlap          = scenario.ChurnFlap
+	ScenarioChurnStorm         = scenario.ChurnStorm
+	ScenarioChurnDispute       = scenario.ChurnDispute
 
 	ExpectAny    = scenario.ExpectAny
 	ExpectSafe   = scenario.ExpectSafe

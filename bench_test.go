@@ -17,6 +17,7 @@ package fsr
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -25,9 +26,11 @@ import (
 	"fsr/internal/experiments"
 	"fsr/internal/ndlog"
 	"fsr/internal/pathvector"
+	"fsr/internal/scenario"
 	"fsr/internal/simnet"
 	"fsr/internal/smt"
 	"fsr/internal/spp"
+	"fsr/internal/topology"
 
 	enginepkg "fsr/internal/engine"
 )
@@ -122,14 +125,29 @@ func BenchmarkStageExecute(b *testing.B) {
 	}
 }
 
+// analyzeAllBatch builds the fan-out workload: eight converted chain
+// instances large enough that each item costs milliseconds (constraint
+// generation enumerates the concatenation table), so the worker pool has
+// real work to overlap. The original 12-policy batch of closed-form
+// algebras was microseconds per item — pure fan-out overhead — and the
+// parallelism=1..8 series measured nothing but that overhead.
+func analyzeAllBatch(b testing.TB) []Algebra {
+	var batch []Algebra
+	for i := 0; i < 8; i++ {
+		conv, err := spp.ChainGadget(240 + 20*i).ToAlgebra()
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch = append(batch, conv.Algebra)
+	}
+	return batch
+}
+
 // BenchmarkStageAnalyzeAll measures the batch fan-out across worker-pool
-// sizes on a mixed 12-policy batch.
+// sizes on an eight-instance constraint-generation-bound batch.
 func BenchmarkStageAnalyzeAll(b *testing.B) {
 	ctx := context.Background()
-	var batch []Algebra
-	for i := 0; i < 4; i++ {
-		batch = append(batch, GaoRexfordA(), GaoRexfordSafe(), Compose(GaoRexfordB(), HopCount()))
-	}
+	batch := analyzeAllBatch(b)
 	for _, par := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
 			sess := NewSession(WithParallelism(par))
@@ -490,24 +508,60 @@ func BenchmarkObsOverhead(b *testing.B) {
 // BenchmarkSolverScaling measures the SMT substrate on growing chain
 // instances (pure solver throughput: context construction, incremental
 // graph build, SPFA decision, model extraction). The n=1000 and n=5000
-// points anchor the scaling trajectory future PRs are held to.
+// points anchor the scaling trajectory future PRs are held to; the
+// n=20000 and n=50000 points are the internet-scale additions, set up
+// through the sharded generator (the classic concatenation-table path is
+// quadratic in instance size and infeasible there) and reporting retained
+// solver memory per node at the top size.
 func BenchmarkSolverScaling(b *testing.B) {
-	for _, n := range []int{10, 50, 200, 1000, 5000} {
+	for _, n := range []int{10, 50, 200, 1000, 5000, 20000, 50000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			conv, err := spp.ChainGadget(n).ToAlgebra()
-			if err != nil {
-				b.Fatal(err)
+			in := spp.ChainGadget(n)
+			var asserts []smt.Assertion
+			if n >= 20000 {
+				cons, ok, err := spp.ShardedConstraints(in, 0)
+				if err != nil || !ok {
+					b.Fatalf("sharded gen: ok=%v err=%v", ok, err)
+				}
+				asserts = make([]smt.Assertion, len(cons))
+				for i, c := range cons {
+					asserts[i] = c.Assertion
+				}
+			} else {
+				conv, err := in.ToAlgebra()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cons, err := analysis.Constraints(conv.Algebra, analysis.StrictMonotonicity)
+				if err != nil {
+					b.Fatal(err)
+				}
+				asserts = make([]smt.Assertion, len(cons))
+				for i, c := range cons {
+					asserts[i] = c.Assertion
+				}
 			}
-			cons, err := analysis.Constraints(conv.Algebra, analysis.StrictMonotonicity)
-			if err != nil {
-				b.Fatal(err)
+			perNode := 0.0
+			if n >= 50000 {
+				// Retained bytes per node once the context holds the full
+				// assertion set (the engine's graph is pooled and excluded).
+				runtime.GC()
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				s := smt.NewContext()
+				s.AssertAll(asserts)
+				runtime.GC()
+				runtime.ReadMemStats(&after)
+				if after.HeapAlloc > before.HeapAlloc {
+					perNode = float64(after.HeapAlloc-before.HeapAlloc) / float64(n)
+				}
+				runtime.KeepAlive(s)
 			}
-			asserts := make([]smt.Assertion, len(cons))
-			for i, c := range cons {
-				asserts[i] = c.Assertion
-			}
-			b.ResetTimer()
+			b.ResetTimer() // clears extra metrics — report perNode after, not before
 			b.ReportAllocs()
+			if perNode > 0 {
+				b.ReportMetric(perNode, "B/node")
+			}
 			for i := 0; i < b.N; i++ {
 				s := smt.NewContext()
 				s.AssertAll(asserts)
@@ -517,6 +571,102 @@ func BenchmarkSolverScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkConstraintGen compares the three constraint-generation paths on
+// a power-law internet instance: the classic concatenation-table pipeline
+// (mode=table — SPP → algebra conversion plus table enumeration, the
+// quadratic wall every earlier PR hit), the sharded generator serially
+// (mode=serial), and the sharded generator across GOMAXPROCS workers
+// (mode=parallel). serial/table is the algorithmic win; parallel/serial is
+// the sharding win on multi-core hosts.
+func BenchmarkConstraintGen(b *testing.B) {
+	g := topology.GenerateInternet(1, topology.InternetParams{N: 1500})
+	in := scenario.InternetSPP("gen-internet-1500", g, 3)
+	b.Run("mode=table", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			conv, err := in.ToAlgebra()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := analysis.Constraints(conv.Algebra, analysis.StrictMonotonicity); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run("mode="+mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cons, ok, err := spp.ShardedConstraints(in, mode.workers)
+				if err != nil || !ok || len(cons) == 0 {
+					b.Fatalf("sharded gen: %d cons ok=%v err=%v", len(cons), ok, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInternetScale is the tentpole measurement: full analysis of a
+// 50000-AS power-law instance. mode=undecomposed is the provenance path
+// without SCC decomposition — sharded constraint generation (already far
+// faster than the classic table path, which does not terminate in bench
+// time at this size) feeding the sequential native engine. mode=scc is
+// AnalyzeScale: dense encoding into the SCC-decomposed engine, skipping
+// provenance materialization on the sat path. The ns/op ratio between the
+// two modes is the PR's ≥3× acceptance figure; mode=scc also reports
+// retained analysis memory per node.
+func BenchmarkInternetScale(b *testing.B) {
+	const n = 50000
+	ctx := context.Background()
+	g := topology.GenerateInternet(9, topology.InternetParams{N: n})
+	in := scenario.InternetSPP(fmt.Sprintf("internet-%d", n), g, 3)
+	b.Run("mode=undecomposed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cons, ok, err := spp.ShardedConstraints(in, 1)
+			if err != nil || !ok {
+				b.Fatalf("sharded gen: ok=%v err=%v", ok, err)
+			}
+			res, err := analysis.CheckPrepared(ctx, "spp-"+in.Name, analysis.StrictMonotonicity, cons, smt.Native{})
+			if err != nil || !res.Sat {
+				b.Fatalf("want sat, got sat=%v err=%v", res.Sat, err)
+			}
+		}
+	})
+	b.Run("mode=scc", func(b *testing.B) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res, _, ok, err := spp.AnalyzeScale(ctx, in, 0)
+		if err != nil || !ok || !res.Sat {
+			b.Fatalf("scale analysis: sat=%v ok=%v err=%v", res.Sat, ok, err)
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		perNode := 0.0
+		if after.HeapAlloc > before.HeapAlloc {
+			perNode = float64(after.HeapAlloc-before.HeapAlloc) / float64(n)
+		}
+		runtime.KeepAlive(res)
+		b.ResetTimer() // clears extra metrics — report perNode after, not before
+		b.ReportAllocs()
+		if perNode > 0 {
+			b.ReportMetric(perNode, "B/node")
+		}
+		for i := 0; i < b.N; i++ {
+			res, _, ok, err := spp.AnalyzeScale(ctx, in, 0)
+			if err != nil || !ok || !res.Sat {
+				b.Fatalf("scale analysis: sat=%v ok=%v err=%v", res.Sat, ok, err)
+			}
+		}
+		b.ReportMetric(float64(res.Stats.Components), "components")
+		b.ReportMetric(float64(res.Stats.TrivialComponents), "trivial")
+	})
 }
 
 // BenchmarkDeltaVerify measures the serve-mode what-if loop on the n=5000

@@ -18,7 +18,7 @@ trap 'rm -f "$tmp"' EXIT
 
 # DeltaVerify/mode=full pays a full n=5000 rebuild per iteration (tens of
 # seconds), so the suite needs headroom beyond go test's default timeout.
-go test -run '^$' -bench 'Stage|Figure3Analysis|SolverScaling|Campaign|DeltaVerify|ObsOverhead' \
+go test -run '^$' -bench 'Stage|Figure3Analysis|SolverScaling|Campaign|DeltaVerify|ObsOverhead|ConstraintGen|InternetScale' \
     -benchmem -count "$count" -timeout 60m . | tee "$tmp"
 
 awk '
@@ -29,6 +29,7 @@ awk '
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")     { ns[name] += $(i-1); nns[name]++ }
         if ($i == "allocs/op") { al[name] += $(i-1); nal[name]++ }
+        if ($i == "B/node")    { bn[name] += $(i-1); nbn[name]++ }
     }
 }
 END {
@@ -37,8 +38,10 @@ END {
         name = names[i]
         mean_ns = nns[name] ? ns[name] / nns[name] : 0
         mean_al = nal[name] ? al[name] / nal[name] : 0
-        printf "  \"%s\": {\"ns_per_op\": %.1f, \"allocs_per_op\": %.1f}%s\n", \
-            name, mean_ns, mean_al, (i < n ? "," : "")
+        extra = ""
+        if (nbn[name]) extra = sprintf(", \"bytes_per_node\": %.1f", bn[name] / nbn[name])
+        printf "  \"%s\": {\"ns_per_op\": %.1f, \"allocs_per_op\": %.1f%s}%s\n", \
+            name, mean_ns, mean_al, extra, (i < n ? "," : "")
     }
     printf "}\n"
 }' "$tmp" > "$out"

@@ -422,8 +422,33 @@ func checkGen(ctx context.Context, g *constraintGen, cond Condition, solver smt.
 	genStart := time.Now()
 	_, gsp := obs.StartSpan(ctx, "constraint-gen")
 	cons := g.constraints(cond)
+	gsp.End()
+	obsStageGen.Observe(time.Since(genStart).Seconds())
+	return solvePrepared(ctx, g.name, cond, cons, solver)
+}
+
+// CheckPrepared decides an already-generated constraint list, mapping the
+// solver outcome back to the constraints positionally — the entry point
+// for callers that mirror the §IV-B generation themselves (the spp sharded
+// generator) and need verdict, model, and core handling identical to
+// CheckWith. The constraint list must be in canonical order: preference
+// constraints first, then monotonicity, exactly as Constraints emits them.
+func CheckPrepared(ctx context.Context, name string, cond Condition, cons []Constraint, solver smt.Solver) (Result, error) {
+	if solver == nil {
+		solver = smt.Native{}
+	}
+	ctx, sp := obs.StartSpan(ctx, "check")
+	sp.Attr("algebra", name)
+	sp.Attr("condition", cond.String())
+	defer sp.End()
+	return solvePrepared(ctx, name, cond, cons, solver)
+}
+
+// solvePrepared is the shared back half of checkGen and CheckPrepared:
+// extract the assertions, solve, and map the outcome back to constraints.
+func solvePrepared(ctx context.Context, name string, cond Condition, cons []Constraint, solver smt.Solver) (Result, error) {
 	asserts := make([]smt.Assertion, len(cons))
-	res := Result{Algebra: g.name, Condition: cond}
+	res := Result{Algebra: name, Condition: cond}
 	for i := range cons {
 		asserts[i] = cons[i].Assertion
 		if cons[i].Kind == KindPreference {
@@ -432,8 +457,6 @@ func checkGen(ctx context.Context, g *constraintGen, cond Condition, solver smt.
 			res.NumMonotonicity++
 		}
 	}
-	gsp.End()
-	obsStageGen.Observe(time.Since(genStart).Seconds())
 	obsConstraints.Add(int64(len(cons)))
 	solveStart := time.Now()
 	out, err := solver.Solve(ctx, asserts)

@@ -1,0 +1,290 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fsr/internal/spp"
+	"fsr/internal/topology"
+)
+
+// Internet-shaped Gao-Rexford instances. The gao-rexford kind enumerates
+// valley-free paths by DFS — fine on GenerateHierarchy's small regular
+// trees, hopeless on power-law graphs where the tier-1 mesh creates an
+// exponential path space. InternetSPP instead mimics what BGP itself
+// computes: route propagation. Customer routes flood up the provider
+// DAG from the destination (BFS, shortest-first), peer routes are derived
+// in one pass (customer routes are the only ones exported to peers), and
+// provider routes flood down by a bucketed Dijkstra over path length.
+// Each node then ranks its best route via every export-legal neighbor —
+// customer ≺ peer ≺ provider, shorter-first, neighbor-name tie-break —
+// keeping at most maxAlt alternates. Every kept path extends the
+// neighbor's primary (top-ranked) path, so the instance is
+// permitted-closed, and (class, length) strictly increases along every
+// permitted extension, which makes the violation-free instance provably
+// safe (§III-B witness: the global (class, length, path-key) ordinal).
+//
+// The construction is O(E·maxAlt + V log V), so the same code serves
+// campaign-sized instances (tens of nodes) and the 100k-node scale
+// benchmarks.
+
+// arc is a directed neighbor with its relationship class from the owning
+// node's perspective: 'c' = neighbor is my customer, 'p' = my provider,
+// 'r' = peer.
+type arc struct {
+	v   int32
+	cls byte
+}
+
+func clsRank(c byte) int {
+	switch c {
+	case 'c':
+		return 0
+	case 'r':
+		return 1
+	default:
+		return 2
+	}
+}
+
+// InternetSPP derives the single-destination Gao-Rexford SPP instance
+// from an AS graph by route propagation. The destination is the
+// last-attached AS (a stub under preferential attachment), which yields
+// the richest customer-route structure. maxAlt bounds the permitted paths
+// kept per node (the destination keeps only its origination).
+func InternetSPP(name string, g *topology.ASGraph, maxAlt int) *spp.Instance {
+	n := len(g.Nodes)
+	if maxAlt < 1 {
+		maxAlt = 1
+	}
+	idx := make(map[string]int32, n)
+	for i, nd := range g.Nodes {
+		idx[nd] = int32(i)
+	}
+	dest := int32(n - 1)
+
+	nbr := make([][]arc, n)
+	for _, e := range g.Edges {
+		a, b := idx[e.A], idx[e.B]
+		if e.Rel == topology.CustomerProvider { // A provides transit to B
+			nbr[a] = append(nbr[a], arc{b, 'c'})
+			nbr[b] = append(nbr[b], arc{a, 'p'})
+		} else {
+			nbr[a] = append(nbr[a], arc{b, 'r'})
+			nbr[b] = append(nbr[b], arc{a, 'r'})
+		}
+	}
+
+	// primary[u] is u's best route to dest; primCls its class at u
+	// ('o' marks the origination itself).
+	primary := make([]spp.Path, n)
+	primCls := make([]byte, n)
+	primary[dest] = spp.Path{spp.Node(g.Nodes[dest]), "r1"}
+	primCls[dest] = 'o'
+
+	extend := func(u int32, tail spp.Path) spp.Path {
+		p := make(spp.Path, 0, len(tail)+1)
+		return append(append(p, spp.Node(g.Nodes[u])), tail...)
+	}
+	simple := func(u int32, tail spp.Path) bool {
+		un := spp.Node(g.Nodes[u])
+		for _, h := range tail {
+			if h == un {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Phase 1 — customer routes: BFS up the provider DAG. Round k settles
+	// nodes whose shortest customer route has k real hops, so within a
+	// round all candidates tie on length and the neighbor name decides.
+	settled := []int32{dest}
+	frontier := []int32{dest}
+	for len(frontier) > 0 {
+		best := map[int32]int32{}
+		for _, v := range frontier {
+			for _, a := range nbr[v] {
+				if a.cls != 'p' { // a.v is v's provider: v exports its customer route up
+					continue
+				}
+				u := a.v
+				if primary[u] != nil || !simple(u, primary[v]) {
+					continue
+				}
+				if w, ok := best[u]; !ok || g.Nodes[v] < g.Nodes[w] {
+					best[u] = v
+				}
+			}
+		}
+		next := make([]int32, 0, len(best))
+		for u := range best {
+			next = append(next, u)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, u := range next {
+			primary[u] = extend(u, primary[best[u]])
+			primCls[u] = 'c'
+		}
+		settled = append(settled, next...)
+		frontier = next
+	}
+
+	// Phase 2 — peer routes: one pass, since only customer routes (and the
+	// origination) are exported to peers; peer routes never chain.
+	for u := int32(0); u < int32(n); u++ {
+		if primary[u] != nil {
+			continue
+		}
+		via := int32(-1)
+		for _, a := range nbr[u] {
+			v := a.v
+			if a.cls != 'r' || primary[v] == nil || (primCls[v] != 'c' && primCls[v] != 'o') || !simple(u, primary[v]) {
+				continue
+			}
+			if via < 0 || len(primary[v]) < len(primary[via]) ||
+				(len(primary[v]) == len(primary[via]) && g.Nodes[v] < g.Nodes[via]) {
+				via = v
+			}
+		}
+		if via >= 0 {
+			primary[u] = extend(u, primary[via])
+			primCls[u] = 'r'
+			settled = append(settled, u)
+		}
+	}
+
+	// Phase 3 — provider routes: every settled node exports its primary to
+	// its customers. Bucketed Dijkstra over candidate path length; the
+	// neighbor name breaks ties within a bucket (all same-length candidates
+	// for a node are present when its bucket drains, since exporters settle
+	// strictly earlier).
+	type cand struct{ u, via int32 }
+	var buckets [][]cand
+	push := func(u, via int32) {
+		l := len(primary[via]) + 1
+		for len(buckets) <= l {
+			buckets = append(buckets, nil)
+		}
+		buckets[l] = append(buckets[l], cand{u, via})
+	}
+	for _, v := range settled {
+		for _, a := range nbr[v] {
+			if a.cls == 'c' && primary[a.v] == nil {
+				push(a.v, v)
+			}
+		}
+	}
+	for l := 2; l < len(buckets); l++ {
+		best := map[int32]int32{}
+		for _, c := range buckets[l] {
+			if primary[c.u] != nil || !simple(c.u, primary[c.via]) {
+				continue
+			}
+			if w, ok := best[c.u]; !ok || g.Nodes[c.via] < g.Nodes[w] {
+				best[c.u] = c.via
+			}
+		}
+		us := make([]int32, 0, len(best))
+		for u := range best {
+			us = append(us, u)
+		}
+		sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+		for _, u := range us {
+			primary[u] = extend(u, primary[best[u]])
+			primCls[u] = 'p'
+			for _, a := range nbr[u] {
+				if a.cls == 'c' && primary[a.v] == nil {
+					push(a.v, u)
+				}
+			}
+		}
+	}
+
+	// Rankings: each node's export-legal candidates u·primary(v), ordered
+	// customer ≺ peer ≺ provider, shorter-first, neighbor name. The first
+	// candidate reproduces primary[u] by construction of the three phases.
+	in := &spp.Instance{
+		Name:      name,
+		Nodes:     make([]spp.Node, n),
+		Origins:   []spp.Node{"r1"},
+		Links:     make([]spp.Link, 0, 2*len(g.Edges)),
+		Cost:      map[spp.Link]int{},
+		Permitted: make(map[spp.Node][]spp.Path, n),
+	}
+	for i, nd := range g.Nodes {
+		in.Nodes[i] = spp.Node(nd)
+	}
+	for _, e := range g.Edges {
+		a, b := spp.Node(e.A), spp.Node(e.B)
+		in.Links = append(in.Links, spp.Link{From: a, To: b}, spp.Link{From: b, To: a})
+	}
+	for u := int32(0); u < int32(n); u++ {
+		if u == dest {
+			in.Permitted[spp.Node(g.Nodes[dest])] = []spp.Path{primary[dest]}
+			continue
+		}
+		var vias []arc
+		for _, a := range nbr[u] {
+			v := a.v
+			if primary[v] == nil || !simple(u, primary[v]) {
+				continue
+			}
+			// Export rule: providers send everything downhill; customers
+			// and peers only forward customer routes (or their own
+			// origination).
+			if a.cls != 'p' && primCls[v] != 'c' && primCls[v] != 'o' {
+				continue
+			}
+			vias = append(vias, a)
+		}
+		sort.Slice(vias, func(i, j int) bool {
+			ri, rj := clsRank(vias[i].cls), clsRank(vias[j].cls)
+			if ri != rj {
+				return ri < rj
+			}
+			li, lj := len(primary[vias[i].v]), len(primary[vias[j].v])
+			if li != lj {
+				return li < lj
+			}
+			return g.Nodes[vias[i].v] < g.Nodes[vias[j].v]
+		})
+		if len(vias) > maxAlt {
+			vias = vias[:maxAlt]
+		}
+		paths := make([]spp.Path, len(vias))
+		for i, a := range vias {
+			paths[i] = extend(u, primary[a.v])
+		}
+		if len(paths) > 0 {
+			in.Permitted[spp.Node(g.Nodes[u])] = paths
+		}
+	}
+	return in
+}
+
+// genGaoRexfordInternet implements the gao-rexford-internet kind:
+// campaign-sized power-law AS graphs with 50% dispute injection.
+func genGaoRexfordInternet(seed int64) (*Scenario, error) {
+	rng := rand.New(rand.NewSource(seed))
+	nAS := 30 + rng.Intn(61)
+	t1 := 3 + rng.Intn(3)
+	g := topology.GenerateInternet(seed, topology.InternetParams{N: nAS, Tier1: t1})
+	in := InternetSPP(fmt.Sprintf("gr-internet-%d", seed), g, 3)
+	note := fmt.Sprintf("power-law internet, %d ASes, tier-1 clique %d, dest %s",
+		nAS, t1, g.Nodes[len(g.Nodes)-1])
+	sc := &Scenario{Kind: GaoRexfordInternet, Seed: seed, Expected: ExpectSafe, Note: note, Instance: in}
+	if rng.Intn(2) == 1 {
+		sc.Expected = ExpectUnsafe
+		if u, v, w, ok := findTriangle(g.Adjacency()); ok && rng.Intn(2) == 0 {
+			injectDisputeTriangle(in, spp.Node(u), spp.Node(v), spp.Node(w))
+			sc.Note += fmt.Sprintf("; injected dispute triangle %s-%s-%s", u, v, w)
+		} else {
+			e := g.Edges[rng.Intn(len(g.Edges))]
+			injectDisputePair(in, spp.Node(e.A), spp.Node(e.B))
+			sc.Note += fmt.Sprintf("; injected dispute pair %s-%s", e.A, e.B)
+		}
+	}
+	return sc, nil
+}

@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fsr/internal/spp"
+	"fsr/internal/topology"
+)
+
+// Lexical-product policies (§IV-B): the paper's composition theorem says a
+// lexical product A ⊗lex B is strictly monotone when A is strictly
+// monotone wherever B is not. This kind instantiates the canonical
+// example — business class first, IGP path cost second — on a seeded AS
+// hierarchy with random per-session IGP costs. Valley-freeness makes the
+// class component non-decreasing along permitted extensions, and every
+// link cost is ≥ 1 so the cost component strictly increases; the product
+// is therefore strictly monotone and the violation-free instance is safe.
+// Half the seeds inject a dispute (pair or triangle), which is unsafe by
+// the subset argument regardless of the surrounding lexical policy.
+
+// pathCost sums the IGP cost of the path's real-node hops.
+func pathCost(cost map[[2]string]int, p spp.Path) int {
+	c := 0
+	for i := 0; i+2 < len(p); i++ {
+		c += cost[[2]string{string(p[i]), string(p[i+1])}]
+	}
+	return c
+}
+
+// genLexicalProduct implements the lexical-product kind.
+func genLexicalProduct(seed int64) (*Scenario, error) {
+	rng := rand.New(rand.NewSource(seed))
+	depth := 2 + rng.Intn(3)
+	g := topology.GenerateHierarchy(seed, topology.HierarchyParams{Depth: depth, Width: 3})
+	dest := fmt.Sprintf("as%d_0", depth)
+
+	in := spp.NewInstance(fmt.Sprintf("lexical-product-%d", seed))
+	for _, n := range g.Nodes {
+		in.AddNode(spp.Node(n))
+	}
+	igp := map[[2]string]int{}
+	for _, e := range g.Edges {
+		w := 1 + rng.Intn(9)
+		igp[[2]string{e.A, e.B}], igp[[2]string{e.B, e.A}] = w, w
+		in.AddSession(spp.Node(e.A), spp.Node(e.B), w)
+	}
+	adj := g.Adjacency()
+	class := g.ClassMap()
+	for _, u := range g.Nodes {
+		if u == dest {
+			continue
+		}
+		paths := valleyFree(class, adj, u, dest)
+		sort.Slice(paths, func(i, j int) bool {
+			ci, cj := grClass(class, paths[i]), grClass(class, paths[j])
+			if ci != cj {
+				return ci < cj
+			}
+			wi, wj := pathCost(igp, paths[i]), pathCost(igp, paths[j])
+			if wi != wj {
+				return wi < wj
+			}
+			return paths[i].Key() < paths[j].Key()
+		})
+		if len(paths) > grMaxPaths {
+			paths = paths[:grMaxPaths]
+		}
+		if len(paths) > 0 {
+			in.Rank(spp.Node(u), paths...)
+		}
+	}
+	in.Rank(spp.Node(dest), spp.P(dest, "r1"))
+
+	note := fmt.Sprintf("class ⊗lex IGP cost, hierarchy depth %d, %d ASes, dest %s", depth, len(g.Nodes), dest)
+	sc := &Scenario{Kind: LexicalProduct, Seed: seed, Expected: ExpectSafe, Note: note, Instance: in}
+	if rng.Intn(2) == 1 {
+		sc.Expected = ExpectUnsafe
+		if u, v, w, ok := findTriangle(adj); ok && rng.Intn(2) == 0 {
+			injectDisputeTriangle(in, spp.Node(u), spp.Node(v), spp.Node(w))
+			sc.Note += fmt.Sprintf("; injected dispute triangle %s-%s-%s", u, v, w)
+		} else {
+			e := g.Edges[rng.Intn(len(g.Edges))]
+			injectDisputePair(in, spp.Node(e.A), spp.Node(e.B))
+			sc.Note += fmt.Sprintf("; injected dispute pair %s-%s", e.A, e.B)
+		}
+	}
+	return sc, nil
+}

@@ -69,6 +69,15 @@ const (
 	// expected unsafe, and the §VI-B suspect set should predict the nodes
 	// observed oscillating.
 	ChurnDispute Kind = "churn-dispute"
+	// GaoRexfordInternet derives valley-free policies over a power-law
+	// (preferential-attachment) AS graph with a tier-1 peering clique and
+	// multihomed stubs — the Internet-shaped workload of the scale
+	// campaigns — with optional violation injection.
+	GaoRexfordInternet Kind = "gao-rexford-internet"
+	// LexicalProduct ranks valley-free paths by the §IV-B lexical product
+	// of business class and IGP path cost, with optional violation
+	// injection.
+	LexicalProduct Kind = "lexical-product"
 )
 
 // Expectation is the verdict a generator guarantees by construction.
@@ -144,6 +153,8 @@ var generators = []struct {
 	{ChurnFlap, genChurnFlap},
 	{ChurnStorm, genChurnStorm},
 	{ChurnDispute, genChurnDispute},
+	{GaoRexfordInternet, genGaoRexfordInternet},
+	{LexicalProduct, genLexicalProduct},
 }
 
 // Kinds lists every registered generator kind.

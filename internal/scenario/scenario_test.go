@@ -82,7 +82,7 @@ func TestGeneratorGuarantees(t *testing.T) {
 		}
 	}
 	// 40 seeds per kind must exercise both classes of every honest kind.
-	for _, kind := range DefaultKinds() {
+	for _, kind := range append(DefaultKinds(), GaoRexfordInternet, LexicalProduct) {
 		if kind != GadgetSplice && !sawSafe[kind] {
 			t.Errorf("%s: no violation-free scenario in 40 seeds", kind)
 		}

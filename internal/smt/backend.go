@@ -82,7 +82,7 @@ func (y YicesText) Solve(ctx context.Context, assertions []Assertion) (Result, e
 // order. The Reference backend (the retained pre-incremental implementation
 // used by differential tests) is resolvable by name but deliberately
 // excluded here.
-func Backends() []Solver { return []Solver{Native{}, YicesText{}} }
+func Backends() []Solver { return []Solver{Native{}, Decomposed{}, YicesText{}} }
 
 // SolverByName resolves a backend by its Name; it returns an error naming
 // the known backends for an unknown name.
@@ -90,11 +90,13 @@ func SolverByName(name string) (Solver, error) {
 	switch name {
 	case "", "native":
 		return Native{}, nil
+	case "native-scc", "scc":
+		return Decomposed{}, nil
 	case "yices-text", "yices":
 		return YicesText{}, nil
 	case "reference":
 		return Reference{}, nil
 	default:
-		return nil, fmt.Errorf("smt: unknown solver backend %q (have: native, yices-text, reference)", name)
+		return nil, fmt.Errorf("smt: unknown solver backend %q (have: native, native-scc, yices-text, reference)", name)
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package smt
+
+// raceEnabled reports whether the race detector is active: allocation-count
+// pins skip under it, since race instrumentation perturbs allocation
+// behavior nondeterministically.
+const raceEnabled = true

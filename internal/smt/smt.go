@@ -142,6 +142,13 @@ type Stats struct {
 	Variables  int
 	Edges      int
 	Duration   time.Duration
+	// Components and TrivialComponents report the condensation shape when
+	// the SCC-decomposed backend solved the system: total strongly
+	// connected components of the constraint graph, and how many were
+	// singletons with no internal edge (decided without touching a solver
+	// queue). Zero on the undecomposed backends.
+	Components        int
+	TrivialComponents int
 }
 
 // Result is the outcome of Check.

@@ -1,0 +1,181 @@
+// Differential tests for the sharded constraint generator and the
+// internet-scale analysis fast path: both must be indistinguishable from
+// the classic ToAlgebra pipeline on everything the classic pipeline can
+// decide — element-wise constraint buffers, verdicts, models, minimized
+// cores, and §VI-B suspect sets.
+//
+// External test package: the scenario generators used as a corpus import
+// spp, so an internal test file would create an import cycle.
+package spp_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fsr/internal/analysis"
+	"fsr/internal/scenario"
+	"fsr/internal/smt"
+	"fsr/internal/spp"
+	"fsr/internal/topology"
+)
+
+// shardCorpus collects the named gadgets and a spread of seeded scenarios
+// (both verdicts) for the differential tests.
+func shardCorpus(t *testing.T) map[string]*spp.Instance {
+	t.Helper()
+	corpus := map[string]*spp.Instance{
+		"figure3-ibgp":       spp.Figure3IBGP(),
+		"figure3-ibgp-fixed": spp.Figure3IBGPFixed(),
+		"disagree":           spp.Disagree(),
+		"bad-gadget":         spp.BadGadget(),
+		"good-gadget":        spp.GoodGadget(),
+		"chain-64":           spp.ChainGadget(64),
+	}
+	for _, kind := range []scenario.Kind{
+		scenario.GadgetSplice, scenario.GaoRexford, scenario.IBGP,
+		scenario.GaoRexfordInternet, scenario.LexicalProduct,
+	} {
+		for seed := int64(1); seed <= 6; seed++ {
+			sc, err := scenario.Generate(kind, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", kind, seed, err)
+			}
+			corpus[fmt.Sprintf("%s-%d", kind, seed)] = sc.Instance
+		}
+	}
+	// One mid-size power-law instance, beyond campaign scale but still
+	// cheap enough for the classic pipeline to cross-check.
+	g := topology.GenerateInternet(42, topology.InternetParams{N: 600})
+	corpus["internet-600"] = scenario.InternetSPP("internet-600", g, 3)
+	return corpus
+}
+
+// TestShardedConstraintsMatchClassic: the sharded generator's buffer is
+// element-for-element identical — assertion, origin, kind, provenance —
+// to analysis.Constraints over the converted algebra.
+func TestShardedConstraintsMatchClassic(t *testing.T) {
+	for name, in := range shardCorpus(t) {
+		conv, err := in.ToAlgebra()
+		if err != nil {
+			t.Fatalf("%s: ToAlgebra: %v", name, err)
+		}
+		want, err := analysis.Constraints(conv.Algebra, analysis.StrictMonotonicity)
+		if err != nil {
+			t.Fatalf("%s: Constraints: %v", name, err)
+		}
+		for _, workers := range []int{1, 4} {
+			got, ok, err := spp.ShardedConstraints(in, workers)
+			if err != nil || !ok {
+				t.Fatalf("%s w=%d: sharded gen: ok=%v err=%v", name, workers, ok, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s w=%d: %d constraints, classic %d", name, workers, len(got), len(want))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("%s w=%d: constraint %d differs:\n%+v\nvs\n%+v", name, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeScaleMatchesClassic: the dense fast path reproduces the full
+// pipeline's Result (verdict, model, minimized core, core indices, counts)
+// and suspect set bit-identically on every corpus instance.
+func TestAnalyzeScaleMatchesClassic(t *testing.T) {
+	ctx := context.Background()
+	for name, in := range shardCorpus(t) {
+		conv, err := in.ToAlgebra()
+		if err != nil {
+			t.Fatalf("%s: ToAlgebra: %v", name, err)
+		}
+		want, err := analysis.CheckWith(ctx, conv.Algebra, analysis.StrictMonotonicity, smt.Native{})
+		if err != nil {
+			t.Fatalf("%s: classic check: %v", name, err)
+		}
+		wantSuspects := conv.SuspectNodes(want.Core)
+		for _, workers := range []int{1, 4} {
+			got, suspects, ok, err := spp.AnalyzeScale(ctx, in, workers)
+			if err != nil || !ok {
+				t.Fatalf("%s w=%d: AnalyzeScale: ok=%v err=%v", name, workers, ok, err)
+			}
+			if got.Sat != want.Sat {
+				t.Fatalf("%s w=%d: sat %v, classic %v", name, workers, got.Sat, want.Sat)
+			}
+			if got.Algebra != want.Algebra || got.Condition != want.Condition {
+				t.Fatalf("%s w=%d: identity (%s,%s) vs (%s,%s)", name, workers, got.Algebra, got.Condition, want.Algebra, want.Condition)
+			}
+			if !reflect.DeepEqual(got.Model, want.Model) {
+				t.Fatalf("%s w=%d: model differs:\n%v\nvs\n%v", name, workers, got.Model, want.Model)
+			}
+			if !reflect.DeepEqual(got.Core, want.Core) {
+				t.Fatalf("%s w=%d: core differs:\n%+v\nvs\n%+v", name, workers, got.Core, want.Core)
+			}
+			if got.NumPreference != want.NumPreference || got.NumMonotonicity != want.NumMonotonicity {
+				t.Fatalf("%s w=%d: counts (%d,%d) vs (%d,%d)", name, workers,
+					got.NumPreference, got.NumMonotonicity, want.NumPreference, want.NumMonotonicity)
+			}
+			if got.Stats.Variables != want.Stats.Variables || got.Stats.Edges != want.Stats.Edges {
+				t.Fatalf("%s w=%d: stats vars/edges (%d,%d) vs (%d,%d)", name, workers,
+					got.Stats.Variables, got.Stats.Edges, want.Stats.Variables, want.Stats.Edges)
+			}
+			if !reflect.DeepEqual(suspects, wantSuspects) {
+				t.Fatalf("%s w=%d: suspects %v, classic %v", name, workers, suspects, wantSuspects)
+			}
+		}
+	}
+}
+
+// TestShardedFallback: instances the compact naming scheme cannot
+// represent faithfully report ok=false instead of guessing.
+func TestShardedFallback(t *testing.T) {
+	// Two egress nodes ranking the bare origin path produce the same
+	// rendering ("r1") for distinct permitted paths.
+	dup := spp.NewInstance("dup-rendering")
+	dup.AddOrigin("r1")
+	dup.AddSession("a", "b", 0)
+	dup.Rank("a", spp.Path{"a", "r1"}, spp.Path{"a", "b", "r1"})
+	dup.Rank("b", spp.Path{"b", "r1"})
+
+	// Sanitization collisions: "x.y" and "x_y" render differently but map
+	// to the same solver variable.
+	san := spp.NewInstance("sanitize-collision")
+	san.AddOrigin("r1")
+	san.AddSession("x.y", "x_y", 0)
+	san.Rank("x.y", spp.Path{"x.y", "r1"})
+	san.Rank("x_y", spp.Path{"x_y", "r1"})
+
+	// Degenerate: no links at all.
+	empty := spp.NewInstance("no-links")
+	empty.AddOrigin("r1")
+	empty.AddNode("a")
+
+	for _, in := range []*spp.Instance{dup, san, empty} {
+		if _, ok, err := spp.ShardedConstraints(in, 2); err != nil || ok {
+			t.Fatalf("%s: want ok=false fallback, got ok=%v err=%v", in.Name, ok, err)
+		}
+		if _, _, ok, err := spp.AnalyzeScale(context.Background(), in, 2); err != nil || ok {
+			t.Fatalf("%s: AnalyzeScale want fallback, got ok=%v err=%v", in.Name, ok, err)
+		}
+	}
+}
+
+// TestShardedValidation: structural validation failures surface with the
+// classic error shapes from ShardedConstraints, and send AnalyzeScale to
+// the classic path (ok=false, nil error) so it can raise the canonical
+// error.
+func TestShardedValidation(t *testing.T) {
+	in := spp.NewInstance("invalid")
+	in.AddOrigin("r1")
+	in.AddSession("a", "b", 0)
+	in.Rank("a", spp.Path{"a", "c", "r1"}) // missing link a→c
+	if _, _, err := spp.ShardedConstraints(in, 2); err == nil {
+		t.Fatal("want validation error for missing link")
+	}
+	if _, _, ok, err := spp.AnalyzeScale(context.Background(), in, 2); ok || err != nil {
+		t.Fatalf("want classic-path fallback on invalid instance, got ok=%v err=%v", ok, err)
+	}
+}

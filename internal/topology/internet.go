@@ -1,0 +1,160 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Internet-scale AS graph generation. GenerateHierarchy builds small,
+// regular provider trees — good for campaign-sized Gao-Rexford scenarios,
+// wrong in shape for scale work: real AS graphs are power-law, with a
+// densely meshed tier-1 core, a handful of heavily multihomed transit
+// hubs, and a long stub-heavy tail. GenerateInternet produces that shape
+// by preferential attachment (Barabási–Albert with a seeded clique), the
+// standard generative model for CAIDA-like degree distributions: each new
+// AS buys transit from one or two existing ASes chosen proportionally to
+// their current degree, so early transit providers accumulate most of the
+// edges while the overwhelming majority of ASes stay stubs.
+
+// InternetParams shapes GenerateInternet. Zero values select defaults
+// chosen to resemble CAIDA AS-relationship snapshots at small scale.
+type InternetParams struct {
+	// N is the total AS count (default 1000).
+	N int
+	// Tier1 is the size of the fully peer-meshed tier-1 clique the graph
+	// grows from (default 8, clamped to N).
+	Tier1 int
+	// MultihomeProb is the probability a new AS buys transit from a second
+	// provider (default 0.35).
+	MultihomeProb float64
+	// PeerProb is the probability a new AS additionally establishes one
+	// settlement-free peering with a degree-proportional partner
+	// (default 0.15).
+	PeerProb float64
+}
+
+func (p InternetParams) withDefaults() InternetParams {
+	if p.N <= 0 {
+		p.N = 1000
+	}
+	if p.Tier1 <= 0 {
+		p.Tier1 = 8
+	}
+	if p.Tier1 > p.N {
+		p.Tier1 = p.N
+	}
+	if p.MultihomeProb <= 0 {
+		p.MultihomeProb = 0.35
+	}
+	if p.PeerProb <= 0 {
+		p.PeerProb = 0.15
+	}
+	return p
+}
+
+// GenerateInternet returns a seeded power-law AS graph: a tier-1 clique of
+// mutual peers, then N−Tier1 ASes attached one at a time by preferential
+// attachment as customers of existing ASes (providers are always older
+// than their customers, so the customer→provider relation is acyclic and
+// every AS has an all-provider path into the tier-1 core). Level records
+// each AS's distance from the core along provider links (tier-1 = 0);
+// Class and ClassMap work unchanged because the graph reuses the
+// CustomerProvider/PeerPeer edge vocabulary of GenerateHierarchy.
+func GenerateInternet(seed int64, p InternetParams) *ASGraph {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	g := &ASGraph{Level: make(map[string]int, p.N)}
+
+	name := func(i int) string { return fmt.Sprintf("as%d", i) }
+	g.Nodes = make([]string, p.N)
+	for i := 0; i < p.N; i++ {
+		g.Nodes[i] = name(i)
+	}
+
+	// attach holds one entry per edge endpoint, so a uniform draw picks an
+	// AS with probability proportional to its degree.
+	attach := make([]int, 0, 4*p.N)
+	// linked dedups undirected pairs (lo*N+hi).
+	linked := make(map[int64]bool, 3*p.N)
+	key := func(a, b int) int64 {
+		if a > b {
+			a, b = b, a
+		}
+		return int64(a)*int64(p.N) + int64(b)
+	}
+
+	// Tier-1 core: a full settlement-free mesh at level 0.
+	for i := 0; i < p.Tier1; i++ {
+		g.Level[name(i)] = 0
+		for j := i + 1; j < p.Tier1; j++ {
+			g.Edges = append(g.Edges, ASEdge{A: name(i), B: name(j), Rel: PeerPeer})
+			linked[key(i, j)] = true
+			attach = append(attach, i, j)
+		}
+	}
+	if p.Tier1 == 1 {
+		attach = append(attach, 0) // degree-0 seed still needs attachment mass
+	}
+
+	// draw returns a degree-proportional existing AS distinct from the ones
+	// already picked for node i, falling back to a uniform scan when the
+	// rejection loop is unlucky.
+	draw := func(i int, taken []int) int {
+		for tries := 0; tries < 16; tries++ {
+			c := attach[rng.Intn(len(attach))]
+			if c == i || linked[key(i, c)] {
+				continue
+			}
+			ok := true
+			for _, t := range taken {
+				if t == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return c
+			}
+		}
+		for c := 0; c < i; c++ {
+			if !linked[key(i, c)] {
+				return c
+			}
+		}
+		return -1
+	}
+
+	for i := p.Tier1; i < p.N; i++ {
+		providers := 1
+		if rng.Float64() < p.MultihomeProb {
+			providers = 2
+		}
+		level := -1
+		var taken []int
+		for k := 0; k < providers; k++ {
+			c := draw(i, taken)
+			if c < 0 {
+				break
+			}
+			taken = append(taken, c)
+			g.Edges = append(g.Edges, ASEdge{A: name(c), B: name(i), Rel: CustomerProvider})
+			linked[key(i, c)] = true
+			attach = append(attach, c, i)
+			if lv := g.Level[name(c)] + 1; level < 0 || lv < level {
+				level = lv
+			}
+		}
+		g.Level[name(i)] = level
+		if level > g.Depth {
+			g.Depth = level
+		}
+		if rng.Float64() < p.PeerProb {
+			if c := draw(i, taken); c >= 0 {
+				g.Edges = append(g.Edges, ASEdge{A: name(c), B: name(i), Rel: PeerPeer})
+				linked[key(i, c)] = true
+				attach = append(attach, c, i)
+			}
+		}
+	}
+	return g
+}

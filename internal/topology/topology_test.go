@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -250,6 +251,151 @@ func TestHierarchyConnectivity(t *testing.T) {
 		}
 		if len(seen) != len(g.Nodes) {
 			t.Errorf("seed %d: reached %d of %d nodes", seed, len(seen), len(g.Nodes))
+		}
+	}
+}
+
+// TestInternetDeterminism: equal seeds yield byte-identical power-law
+// graphs; different seeds differ. Campaigns and benches regenerate the
+// graph from (seed, params) alone.
+func TestInternetDeterminism(t *testing.T) {
+	p := InternetParams{N: 400}
+	a := GenerateInternet(7, p)
+	b := GenerateInternet(7, p)
+	if len(a.Edges) != len(b.Edges) || len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("sizes differ: %d/%d edges, %d/%d nodes", len(a.Edges), len(b.Edges), len(a.Nodes), len(b.Nodes))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+	for n, lv := range a.Level {
+		if b.Level[n] != lv {
+			t.Fatalf("level %s differs: %d vs %d", n, lv, b.Level[n])
+		}
+	}
+	c := GenerateInternet(8, p)
+	same := len(a.Edges) == len(c.Edges)
+	if same {
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 generated identical graphs")
+	}
+}
+
+// TestInternetPowerLaw: the degree distribution is heavy-tailed — a core
+// hub accumulates a degree far above the median while most ASes stay
+// stubs — and the tier-1 seed clique is a full peer mesh.
+func TestInternetPowerLaw(t *testing.T) {
+	g := GenerateInternet(3, InternetParams{N: 2000, Tier1: 8})
+	deg := map[string]int{}
+	peers := map[[2]string]bool{}
+	for _, e := range g.Edges {
+		deg[e.A]++
+		deg[e.B]++
+		if e.Rel == PeerPeer {
+			peers[[2]string{e.A, e.B}] = true
+			peers[[2]string{e.B, e.A}] = true
+		}
+	}
+	degs := make([]int, 0, len(g.Nodes))
+	max := 0
+	for _, n := range g.Nodes {
+		degs = append(degs, deg[n])
+		if deg[n] > max {
+			max = deg[n]
+		}
+	}
+	sort.Ints(degs)
+	median := degs[len(degs)/2]
+	if max < 20*median {
+		t.Errorf("degree tail too light: max %d, median %d", max, median)
+	}
+	stubs := 0
+	for _, d := range degs {
+		if d <= 2 {
+			stubs++
+		}
+	}
+	if stubs < len(degs)/2 {
+		t.Errorf("expected a stub-heavy tail, got %d/%d ASes with degree ≤ 2", stubs, len(degs))
+	}
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			pair := [2]string{g.Nodes[i], g.Nodes[j]}
+			if !peers[pair] {
+				t.Errorf("tier-1 pair %v not peer-linked", pair)
+			}
+			if g.Level[g.Nodes[i]] != 0 {
+				t.Errorf("tier-1 node %s has level %d", g.Nodes[i], g.Level[g.Nodes[i]])
+			}
+		}
+	}
+}
+
+// TestInternetClassConsistency: ClassMap over the power-law graph keeps
+// the Gao-Rexford involution — Class(u,v)=="c" iff Class(v,u)=="p", peers
+// symmetric — and agrees with the linear-scan Class on every edge.
+func TestInternetClassConsistency(t *testing.T) {
+	g := GenerateInternet(11, InternetParams{N: 600})
+	cm := g.ClassMap()
+	for _, e := range g.Edges {
+		uv, vu := cm[[2]string{e.A, e.B}], cm[[2]string{e.B, e.A}]
+		if g.Class(e.A, e.B) != uv || g.Class(e.B, e.A) != vu {
+			t.Fatalf("ClassMap disagrees with Class on %v", e)
+		}
+		switch uv {
+		case "c":
+			if vu != "p" {
+				t.Fatalf("edge %v: %q not inverse of %q", e, uv, vu)
+			}
+		case "p":
+			if vu != "c" {
+				t.Fatalf("edge %v: %q not inverse of %q", e, uv, vu)
+			}
+		case "r":
+			if vu != "r" {
+				t.Fatalf("edge %v: peer not symmetric (%q)", e, vu)
+			}
+		default:
+			t.Fatalf("edge %v unclassified", e)
+		}
+	}
+}
+
+// TestInternetConnectivity: every AS has a provider chain into the tier-1
+// core, so the graph is connected and Level is the provider-path distance
+// from the core.
+func TestInternetConnectivity(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := GenerateInternet(seed, InternetParams{N: 500})
+		adj := g.Adjacency()
+		seen := map[string]bool{g.Nodes[0]: true}
+		queue := []string{g.Nodes[0]}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, m := range adj[n] {
+				if !seen[m] {
+					seen[m] = true
+					queue = append(queue, m)
+				}
+			}
+		}
+		if len(seen) != len(g.Nodes) {
+			t.Fatalf("seed %d: reached %d of %d nodes", seed, len(seen), len(g.Nodes))
+		}
+		for n, lv := range g.Level {
+			if lv < 0 || lv > g.Depth {
+				t.Fatalf("seed %d: %s has level %d outside [0,%d]", seed, n, lv, g.Depth)
+			}
 		}
 	}
 }

@@ -1,0 +1,119 @@
+package fsr
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"fsr/internal/analysis"
+	"fsr/internal/scenario"
+	"fsr/internal/smt"
+	"fsr/internal/spp"
+	"fsr/internal/topology"
+)
+
+// TestSessionScalePath: above the node threshold AnalyzeSPP silently
+// switches to the sharded/SCC fast path; the session-level contract is
+// that nothing observable changes. Checked on a sat power-law instance
+// and on the same instance with an injected dispute (unsat, exercising
+// the provenance fallback and the suspect set).
+func TestSessionScalePath(t *testing.T) {
+	ctx := context.Background()
+	g := topology.GenerateInternet(3, topology.InternetParams{N: 700})
+	instances := []*spp.Instance{scenario.InternetSPP("scale-sat", g, 3)}
+	unsafe := scenario.InternetSPP("scale-unsat", g, 3)
+	e := g.Edges[0]
+	unsafe.Rank(spp.Node(e.A), spp.Path{spp.Node(e.A), spp.Node(e.B), "rx_b"}, spp.Path{spp.Node(e.A), "rx_a"})
+	unsafe.Rank(spp.Node(e.B), spp.Path{spp.Node(e.B), spp.Node(e.A), "rx_a"}, spp.Path{spp.Node(e.B), "rx_b"})
+	unsafe.AddOrigin("rx_a")
+	unsafe.AddOrigin("rx_b")
+	instances = append(instances, unsafe)
+
+	for _, in := range instances {
+		if len(in.Nodes) < scaleThreshold {
+			t.Fatalf("%s: test instance below scale threshold", in.Name)
+		}
+		conv, err := in.ToAlgebra()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := analysis.CheckWith(ctx, conv.Algebra, analysis.StrictMonotonicity, smt.Native{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSuspects := conv.SuspectNodes(want.Core)
+
+		got, suspects, err := NewSession().AnalyzeSPP(ctx, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Sat != want.Sat || !reflect.DeepEqual(got.Model, want.Model) || !reflect.DeepEqual(got.Core, want.Core) {
+			t.Fatalf("%s: scale path diverges from classic (sat %v vs %v)", in.Name, got.Sat, want.Sat)
+		}
+		if !reflect.DeepEqual(suspects, wantSuspects) {
+			t.Fatalf("%s: suspects %v, classic %v", in.Name, suspects, wantSuspects)
+		}
+		if want.Sat && got.Stats.Components == 0 {
+			t.Fatalf("%s: fast path not taken (no condensation stats)", in.Name)
+		}
+	}
+}
+
+// TestScaleEligibility: solver backends whose semantics the scale path
+// does not reproduce must keep the classic pipeline.
+func TestScaleEligibility(t *testing.T) {
+	for _, tc := range []struct {
+		solver smt.Solver
+		want   bool
+	}{
+		{smt.Native{}, true},
+		{smt.Decomposed{}, true},
+		{smt.Native{NoMinimize: true}, false},
+		{smt.YicesText{}, false},
+	} {
+		if got := scaleEligible(tc.solver); got != tc.want {
+			t.Errorf("scaleEligible(%s) = %v, want %v", tc.solver.Name(), got, tc.want)
+		}
+	}
+}
+
+// TestAnalyzeAllParallelSpeedup asserts the batch fan-out actually scales:
+// parallelism=4 must beat serial by >1.5× on the constraint-generation-
+// bound batch. Timing-sensitive, so it only runs when FSR_SPEEDUP_TEST is
+// set (the CI bench job exports it on a multi-core runner); plain test
+// runs and single-core hosts skip.
+func TestAnalyzeAllParallelSpeedup(t *testing.T) {
+	if os.Getenv("FSR_SPEEDUP_TEST") == "" {
+		t.Skip("set FSR_SPEEDUP_TEST=1 to run the timing assertion")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("needs ≥4 CPUs, have %d", runtime.GOMAXPROCS(0))
+	}
+	ctx := context.Background()
+	batch := analyzeAllBatch(t)
+	measure := func(par int) time.Duration {
+		sess := NewSession(WithParallelism(par))
+		best := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, err := sess.AnalyzeAll(ctx, batch...); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	measure(1) // warm caches and pools
+	serial := measure(1)
+	par := measure(4)
+	speedup := float64(serial) / float64(par)
+	t.Logf("AnalyzeAll batch: serial %v, parallelism=4 %v, speedup %.2fx", serial, par, speedup)
+	if speedup < 1.5 {
+		t.Fatalf("parallel fan-out speedup %.2fx < 1.5x (serial %v, parallel %v)", speedup, serial, par)
+	}
+}

@@ -217,10 +217,32 @@ func (s *Session) CheckMonotonicity(ctx context.Context, a Algebra) (AnalysisRes
 	return analysis.CheckWith(ctx, a, analysis.Monotonicity, s.solver)
 }
 
+// scaleThreshold is the node count above which AnalyzeSPP prefers the
+// sharded internet-scale path: below it the classic pipeline is already
+// sub-millisecond and its extra diagnostics (full algebra object,
+// origination maps) come free.
+const scaleThreshold = 512
+
 // AnalyzeSPP converts and checks an SPP instance in one step, returning the
 // analysis result and the suspect nodes implicated by the core (empty when
 // sat).
+//
+// Large instances (≥512 nodes) take the internet-scale fast path when the
+// configured solver semantics permit it (the default native backend or the
+// SCC-decomposed one, with core minimization on): sharded constraint
+// generation, dense encoding, and the SCC-decomposed engine, with results
+// bit-identical to the classic pipeline. Instances the compact path cannot
+// represent fall through to the classic pipeline transparently.
 func (s *Session) AnalyzeSPP(ctx context.Context, in *SPPInstance) (AnalysisResult, []SPPNode, error) {
+	if len(in.Nodes) >= scaleThreshold && scaleEligible(s.solver) {
+		res, suspects, ok, err := spp.AnalyzeScale(ctx, in, s.parallelism)
+		if err != nil {
+			return AnalysisResult{}, nil, err
+		}
+		if ok {
+			return res, suspects, nil
+		}
+	}
 	conv, err := in.ToAlgebra()
 	if err != nil {
 		return AnalysisResult{}, nil, err
@@ -230,6 +252,19 @@ func (s *Session) AnalyzeSPP(ctx context.Context, in *SPPInstance) (AnalysisResu
 		return AnalysisResult{}, nil, err
 	}
 	return res, conv.SuspectNodes(res.Core), nil
+}
+
+// scaleEligible reports whether the configured solver's semantics are the
+// ones the scale path reproduces (native difference-logic engine with
+// deletion-minimized cores; the decomposed backend is that same engine).
+func scaleEligible(solver smt.Solver) bool {
+	switch s := solver.(type) {
+	case smt.Native:
+		return !s.NoMinimize
+	case smt.Decomposed:
+		return !s.NoMinimize
+	}
+	return false
 }
 
 // OpenDeltaVerifier loads an SPP instance into a resident incremental
