@@ -1,0 +1,48 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+)
+
+// logFlags registers the shared logging flags on a subcommand's flag set.
+// Every subcommand that logs (serve, campaign) gets the same pair, so one
+// muscle memory covers the whole CLI.
+func logFlags(fs *flag.FlagSet) (format, level *string) {
+	format = fs.String("log-format", "text", "log output format: text|json")
+	level = fs.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	return format, level
+}
+
+// buildLogger constructs the stderr logger the -log-format/-log-level
+// flags describe, or nil when quiet — the spec and server layers treat a
+// nil logger as silence, so -quiet stays one switch for everything.
+func buildLogger(format, level string, quiet bool) (*slog.Logger, error) {
+	if quiet {
+		return nil, nil
+	}
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level wants debug|info|warn|error, got %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format wants text|json, got %q", format)
+	}
+}

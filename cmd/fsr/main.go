@@ -15,24 +15,36 @@
 //	fsr campaign [-count N] [-seed S] [-kinds K,K | -churn] [-shard i/n]
 //	             [-shrink] [-corpus FILE | -replay FILE] [-trace-out FILE]
 //	             [-metrics-addr HOST:PORT] [-quiet]           differential campaign
-//	fsr serve    [-addr HOST:PORT] [-check-oracle] [-pprof]   verification-as-a-service daemon
+//	fsr serve    [-addr HOST:PORT] [-check-oracle] [-pprof]
+//	             [-slow-op D]                                 verification-as-a-service daemon
+//	fsr top      [-addr HOST:PORT] [-interval D] [-once]      live view of a running endpoint
 //	fsr experiment <table1|table2|fig3|fig4|fig5|fig6|vic> [flags]
 //	fsr topo     [-depth N] [-seed S]                         print a generated AS hierarchy
 //
 // Built-in policies: gao-rexford-a, gao-rexford-b, gao-rexford-safe,
 // hop-count, backup. Built-in gadgets: goodgadget, badgadget, disagree,
-// fig3, fig3-fixed. Solver backends: native, native-scc, yices-text.
-// Runner backends: sim, sim-ndlog, tcp. Scenario kinds: gadget-splice,
-// gao-rexford, ibgp, gao-rexford-internet, lexical-product,
-// divergent-fixture, partial-spec, churn-flap, churn-storm, churn-dispute
-// (the last three inject seed-derived fault plans; -churn selects them all).
+// fig3, fig3-fixed, plus the parameterized forms chain:N and
+// internet:N[:SEED] which generate instances on the fly. Solver backends:
+// native, native-scc, yices-text. Runner backends: sim, sim-ndlog, tcp.
+// Scenario kinds: gadget-splice, gao-rexford, ibgp, gao-rexford-internet,
+// lexical-product, divergent-fixture, partial-spec, churn-flap,
+// churn-storm, churn-dispute (the last three inject seed-derived fault
+// plans; -churn selects them all).
 //
 // Observability: -trace-out writes a Chrome trace-event JSON file (open in
 // Perfetto) covering every pipeline span under the command; -metrics-addr
-// binds an HTTP listener serving the process-global metrics registry at
-// /metrics and Go profiling at /debug/pprof/ for the campaign's duration;
-// campaigns print a progress line to stderr every few seconds plus a final
-// summary table unless -quiet is given.
+// binds an HTTP listener for the campaign's duration serving the
+// process-global metrics registry at /metrics, Go profiling at
+// /debug/pprof/, retained time series at /v1/timeseries, the flight
+// recorder's recent-operations ring at /v1/flightrecorder, and a
+// zero-dependency live dashboard at /dashboard. fsr serve mounts the same
+// diagnosis endpoints, and -slow-op sets the latency threshold beyond
+// which an operation's full span tree is retained. fsr top renders the
+// ring and the live registry as a refreshing terminal view against either
+// listener. serve and campaign log structured lines to stderr through one
+// leveled logger shaped by -log-format (text|json) and -log-level
+// (debug|info|warn|error); -quiet silences it entirely, including the
+// campaign progress lines and final summary.
 //
 // Exit codes distinguish outcomes for campaign scripting: 0 means the
 // command succeeded (and, where applicable, the analysis proved safety),
@@ -86,6 +98,8 @@ func main() {
 		err = cmdExperiment(os.Args[2:])
 	case "topo":
 		err = cmdTopo(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -115,6 +129,7 @@ commands:
   serve       HTTP verification daemon with delta re-verification
   experiment  regenerate a table or figure of the paper
   topo        print a generated AS hierarchy
+  top         live terminal view of a running serve/campaign endpoint
 
 exit codes: 0 success/safe, 1 finding (unsafe verdict, campaign
 divergence/mismatch, or a replay that does not reproduce), 2 tool error
@@ -188,12 +203,16 @@ func withTraceOut(ctx context.Context, path string) (context.Context, func() err
 }
 
 // startMetricsListener binds addr and serves the process-global metrics
-// registry at /metrics plus Go profiling at /debug/pprof/ for the life of
-// the process. Returns the bound address (addr may use port 0).
+// registry at /metrics, the diagnosis surface (/dashboard, /v1/timeseries,
+// /v1/flightrecorder), and Go profiling at /debug/pprof/ for the life of
+// the process. The flight recorder is switched on so campaign scenarios
+// land in the ring. Returns the bound address (addr may use port 0).
 func startMetricsListener(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", fsr.MetricsHandler())
 	fsr.MountPprof(mux)
+	fsr.EnableFlightRecorder(true)
+	fsr.MountDiagnostics(mux, 0, 0) // sampler runs for the process lifetime
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -268,9 +287,14 @@ func cmdCampaign(args []string) error {
 	runnerName := fs.String("runner", "sim", "runner backend: sim|sim-ndlog|tcp")
 	verbose := fs.Bool("v", false, "print every scenario result, not just the summary")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file of the campaign spans")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address for the campaign's duration")
-	quiet := fs.Bool("quiet", false, "suppress the periodic progress line and final summary table on stderr")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /dashboard, /v1/timeseries, /v1/flightrecorder, and /debug/pprof/ on this address for the campaign's duration")
+	logFormat, logLevel := logFlags(fs)
+	quiet := fs.Bool("quiet", false, "suppress the periodic progress records and final summary on stderr")
 	fs.Parse(args)
+	logger, err := buildLogger(*logFormat, *logLevel, *quiet)
+	if err != nil {
+		return err
+	}
 
 	if *replayPath != "" {
 		// -replay is a mode of its own: generation flags would be silently
@@ -307,7 +331,10 @@ func cmdCampaign(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "fsr: serving metrics on http://%s/metrics (profiling at /debug/pprof/)\n", bound)
+		if logger != nil {
+			logger.Info("fsr campaign: serving diagnostics", "addr", bound,
+				"metrics", "http://"+bound+"/metrics", "dashboard", "http://"+bound+"/dashboard")
+		}
 	}
 	ctx, flush := withTraceOut(ctx, *traceOut)
 
@@ -358,9 +385,7 @@ func cmdCampaign(args []string) error {
 		Horizon:  *horizon,
 		NoSim:    *noSim,
 		Shrink:   *shrink,
-	}
-	if !*quiet {
-		spec.Progress = os.Stderr
+		Logger:   logger,
 	}
 	switch {
 	case *churn && *kindsFlag != "":
@@ -442,17 +467,24 @@ func cmdServe(args []string) error {
 		"differentially validate every delta verification against a full rebuild")
 	pprofFlag := fs.Bool("pprof", false,
 		"mount Go profiling at /debug/pprof/ (profiles expose heap contents; trusted listeners only)")
-	quiet := fs.Bool("quiet", false, "suppress per-request logging")
+	slowOp := fs.Duration("slow-op", 0,
+		"retain full span trees for operations slower than this (0 = the 100ms default)")
+	logFormat, logLevel := logFlags(fs)
+	quiet := fs.Bool("quiet", false, "suppress request and lifecycle logging")
 	fs.Parse(args)
+	logger, err := buildLogger(*logFormat, *logLevel, *quiet)
+	if err != nil {
+		return err
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	opts := fsr.ServeOptions{Addr: *addr, CheckOracle: *checkOracle, Pprof: *pprofFlag}
-	if !*quiet {
-		opts.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
-	return fsr.Serve(ctx, opts)
+	return fsr.Serve(ctx, fsr.ServeOptions{
+		Addr:            *addr,
+		CheckOracle:     *checkOracle,
+		Pprof:           *pprofFlag,
+		Logger:          logger,
+		SlowOpThreshold: *slowOp,
+	})
 }
 
 func cmdCompile(args []string) error {

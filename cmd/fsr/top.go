@@ -1,0 +1,249 @@
+// fsr top: a refreshing terminal view of a running pipeline — the flight
+// recorder's recent operations plus sparklines over the retained
+// time-series window — against any live diagnosis endpoint (fsr serve, or
+// fsr campaign -metrics-addr). A thin HTTP client: all state lives in the
+// observed process.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// tsPoint / tsSeries / tsPayload mirror the /v1/timeseries JSON.
+type tsPoint struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+type tsSeries struct {
+	Name   string    `json:"name"`
+	Kind   string    `json:"kind"`
+	Points []tsPoint `json:"points"`
+}
+
+type tsPayload struct {
+	IntervalMS int64      `json:"interval_ms"`
+	WindowMS   int64      `json:"window_ms"`
+	Series     []tsSeries `json:"series"`
+}
+
+// flightOp / flightPayload mirror the /v1/flightrecorder JSON (span trees
+// are left to the dashboard; top shows the op table).
+type flightOp struct {
+	Seq        uint64           `json:"seq"`
+	Kind       string           `json:"kind"`
+	Detail     string           `json:"detail"`
+	Size       int              `json:"size"`
+	DurationMS float64          `json:"duration_ms"`
+	Verdict    string           `json:"verdict"`
+	Counters   map[string]int64 `json:"counters"`
+	Slow       bool             `json:"slow"`
+}
+
+type flightPayload struct {
+	Enabled         bool       `json:"enabled"`
+	Total           uint64     `json:"total"`
+	SlowThresholdMS float64    `json:"slow_threshold_ms"`
+	Ops             []flightOp `json:"ops"`
+	SlowTotal       uint64     `json:"slow_total"`
+}
+
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080",
+		"diagnosis endpoint of a running fsr serve or fsr campaign -metrics-addr listener")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "render one frame and exit (no screen control; for scripts and CI)")
+	rows := fs.Int("rows", 15, "operations shown in the flight table")
+	fs.Parse(args)
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	base := "http://" + *addr
+	if *once {
+		frame, err := renderTop(client, base, *rows)
+		if err != nil {
+			return err
+		}
+		fmt.Print(frame)
+		return nil
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		frame, err := renderTop(client, base, *rows)
+		if err != nil {
+			frame = fmt.Sprintf("fsr top: %v (retrying every %v)\n", err, *interval)
+		}
+		// Clear and home, then draw the frame in one write to limit flicker.
+		fmt.Print("\x1b[H\x1b[2J" + frame)
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+func fetchJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// renderTop fetches both payloads and renders one frame.
+func renderTop(client *http.Client, base string, rows int) (string, error) {
+	var ts tsPayload
+	if err := fetchJSON(client, base+"/v1/timeseries", &ts); err != nil {
+		return "", err
+	}
+	var fl flightPayload
+	flErr := fetchJSON(client, base+"/v1/flightrecorder", &fl)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "fsr top — %s — %s  (window %v, sampled every %v)\n\n",
+		base, time.Now().Format("15:04:05"),
+		time.Duration(ts.WindowMS)*time.Millisecond,
+		time.Duration(ts.IntervalMS)*time.Millisecond)
+
+	renderSeries(&b, ts.Series)
+
+	if flErr != nil {
+		fmt.Fprintf(&b, "\nflight recorder: unavailable (%v)\n", flErr)
+		return b.String(), nil
+	}
+	fmt.Fprintf(&b, "\nrecent operations — %d recorded, %d slow (≥%.0fms)",
+		fl.Total, fl.SlowTotal, fl.SlowThresholdMS)
+	if !fl.Enabled {
+		b.WriteString("  [recorder disabled]")
+	}
+	b.WriteString("\n")
+	if len(fl.Ops) == 0 {
+		b.WriteString("  (none yet — drive some load)\n")
+		return b.String(), nil
+	}
+	fmt.Fprintf(&b, "  %6s  %-12s %-24s %7s %9s  %-12s %s\n",
+		"#", "kind", "detail", "size", "ms", "verdict", "counters")
+	if rows > len(fl.Ops) {
+		rows = len(fl.Ops)
+	}
+	for _, op := range fl.Ops[:rows] {
+		mark := " "
+		if op.Slow {
+			mark = "!"
+		}
+		detail := op.Detail
+		if len(detail) > 24 {
+			detail = detail[:21] + "..."
+		}
+		keys := make([]string, 0, len(op.Counters))
+		for k := range op.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ctr := make([]string, 0, len(keys))
+		for _, k := range keys {
+			ctr = append(ctr, fmt.Sprintf("%s=%d", k, op.Counters[k]))
+		}
+		fmt.Fprintf(&b, "%s %6d  %-12s %-24s %7d %9.2f  %-12s %s\n",
+			mark, op.Seq, op.Kind, detail, op.Size, op.DurationMS, op.Verdict, strings.Join(ctr, " "))
+	}
+	return b.String(), nil
+}
+
+// sparkBars renders a unicode sparkline over the points' values.
+var sparkBars = []rune("▁▂▃▄▅▆▇█")
+
+func sparkline(pts []tsPoint, width int) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	if len(pts) > width {
+		pts = pts[len(pts)-width:]
+	}
+	lo, hi := pts[0].V, pts[0].V
+	for _, p := range pts {
+		if p.V < lo {
+			lo = p.V
+		}
+		if p.V > hi {
+			hi = p.V
+		}
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		i := 0
+		if hi > lo {
+			i = int((p.V - lo) / (hi - lo) * float64(len(sparkBars)-1))
+		}
+		b.WriteRune(sparkBars[i])
+	}
+	return b.String()
+}
+
+// fmtVal renders a metric value compactly (SI suffixes above 1000).
+func fmtVal(v float64) string {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case a >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// renderSeries prints every retained series with its last value and a
+// sparkline, sorted by name — the whole live registry at a glance.
+func renderSeries(b *strings.Builder, series []tsSeries) {
+	if len(series) == 0 {
+		b.WriteString("no series retained yet — drive some load\n")
+		return
+	}
+	nameW := 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	if nameW > 64 {
+		nameW = 64
+	}
+	for _, s := range series {
+		last := 0.0
+		if n := len(s.Points); n > 0 {
+			last = s.Points[n-1].V
+		}
+		name := s.Name
+		if len(name) > nameW {
+			name = name[:nameW-3] + "..."
+		}
+		fmt.Fprintf(b, "%-*s %10s  %s\n", nameW, name, fmtVal(last), sparkline(s.Points, 32))
+	}
+}

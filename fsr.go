@@ -52,6 +52,7 @@ package fsr
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -60,8 +61,10 @@ import (
 	"fsr/internal/config"
 	"fsr/internal/engine"
 	"fsr/internal/ndlog"
+	"fsr/internal/scenario"
 	"fsr/internal/smt"
 	"fsr/internal/spp"
+	"fsr/internal/topology"
 	"fsr/internal/trace"
 )
 
@@ -189,15 +192,65 @@ var builtinGadgets = []struct {
 }
 
 // Gadget resolves a built-in SPP gadget by name: goodgadget, badgadget,
-// disagree, fig3, fig3-fixed. Parameterized instances are separate
-// constructors (see ChainGadget).
+// disagree, fig3, fig3-fixed. Parameterized forms generate instances on
+// the fly: "chain:N" is [ChainGadget](N), and "internet:N" (or
+// "internet:N:SEED", default seed 1) is a power-law Gao-Rexford topology
+// of N ASes via [GenerateInternetSPP] — how the verification daemon is
+// driven at internet scale without shipping a multi-megabyte instance in
+// the request body.
 func Gadget(name string) (*SPPInstance, error) {
 	for _, g := range builtinGadgets {
 		if g.name == name {
 			return g.ctor(), nil
 		}
 	}
+	if in, ok, err := paramGadget(name); ok {
+		return in, err
+	}
 	return nil, errUnknown("gadget", name, GadgetNames())
+}
+
+// paramGadget parses the parameterized gadget forms. ok=false means the
+// name is not parameterized at all and the caller should report its own
+// unknown-name error.
+func paramGadget(name string) (*SPPInstance, bool, error) {
+	kind, rest, found := strings.Cut(name, ":")
+	if !found {
+		return nil, false, nil
+	}
+	switch kind {
+	case "chain":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 2 {
+			return nil, true, fmt.Errorf("fsr: gadget %q: want chain:N with N ≥ 2", name)
+		}
+		return ChainGadget(n), true, nil
+	case "internet":
+		sizeStr, seedStr, hasSeed := strings.Cut(rest, ":")
+		n, err := strconv.Atoi(sizeStr)
+		if err != nil || n < 2 {
+			return nil, true, fmt.Errorf("fsr: gadget %q: want internet:N[:SEED] with N ≥ 2", name)
+		}
+		seed := int64(1)
+		if hasSeed {
+			s, err := strconv.ParseInt(seedStr, 10, 64)
+			if err != nil {
+				return nil, true, fmt.Errorf("fsr: gadget %q: bad seed %q", name, seedStr)
+			}
+			seed = s
+		}
+		return GenerateInternetSPP(name, n, seed), true, nil
+	}
+	return nil, false, nil
+}
+
+// GenerateInternetSPP generates a power-law AS topology of n nodes
+// (deterministic in seed) and derives its single-destination Gao-Rexford
+// SPP instance — the standing internet-scale workload of the scaling
+// benchmarks and the "internet:N[:SEED]" gadget form.
+func GenerateInternetSPP(name string, n int, seed int64) *SPPInstance {
+	g := topology.GenerateInternet(seed, topology.InternetParams{N: n})
+	return scenario.InternetSPP(name, g, 3)
 }
 
 // GadgetNames lists the names Gadget accepts.

@@ -2,7 +2,11 @@
 # Runs the benchstat-friendly Stage series plus the headline analysis and
 # solver-scaling benches, and writes BENCH_<tag>.json mapping each benchmark
 # to its mean ns/op and allocs/op — the perf trajectory future PRs are held
-# to. Usage: hack/bench.sh [tag] [count]
+# to. Usage: hack/bench.sh [tag] [count] [baseline-tag]
+#
+# With a baseline tag (or BENCH_BASELINE=<tag>), the run ends by diffing
+# the fresh file against BENCH_<baseline>.json via hack/benchdiff and
+# fails when any shared benchmark slowed past BENCH_THRESHOLD (default 5%).
 #
 # For a statistically sound before/after comparison, prefer
 #   go test -run '^$' -bench Stage -benchmem -count 10 . > new.txt
@@ -12,6 +16,7 @@ cd "$(dirname "$0")/.."
 
 tag="${1:-pr3}"
 count="${2:-5}"
+baseline="${3:-${BENCH_BASELINE:-}}"
 out="BENCH_${tag}.json"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -47,3 +52,12 @@ END {
 }' "$tmp" > "$out"
 
 echo "wrote $out"
+
+if [[ -n "$baseline" ]]; then
+    base="BENCH_${baseline}.json"
+    if [[ ! -f "$base" ]]; then
+        echo "bench.sh: baseline $base not found" >&2
+        exit 2
+    fi
+    go run ./hack/benchdiff -threshold "${BENCH_THRESHOLD:-0.05}" "$base" "$out"
+fi

@@ -2,19 +2,28 @@
 # End-to-end smoke for `fsr serve`: start the daemon with the differential
 # oracle on, load the Figure 3 gadget, drive the README's repair session
 # over HTTP, and assert from /metrics that delta re-verification actually
-# ran (fsr_delta_solves_total > 0) with zero oracle mismatches.
+# ran (fsr_delta_solves_total > 0) with zero oracle mismatches. Then the
+# diagnosis surface: an internet-scale POST /v1/analyze must move the
+# condensation counters, the dashboard and flight recorder must serve, a
+# slow op must be retrievable with its span tree, fsr top must render a
+# frame, and the daemon's stderr must be parseable slog JSON.
 # Usage: hack/server_smoke.sh [port]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 addr="127.0.0.1:${1:-8091}"
 base="http://$addr"
-bin="$(mktemp -d)/fsr"
+tmpdir="$(mktemp -d)"
+bin="$tmpdir/fsr"
+servelog="$tmpdir/serve.log"
 go build -o "$bin" ./cmd/fsr
 
-"$bin" serve -addr "$addr" -check-oracle -pprof -quiet &
+# -slow-op 1ms guarantees the internet-scale analyze below crosses the
+# slow threshold, so its span tree lands in the flight recorder.
+"$bin" serve -addr "$addr" -check-oracle -pprof -log-format json -slow-op 1ms \
+    2>"$servelog" &
 pid=$!
-trap 'kill "$pid" 2>/dev/null || true; rm -rf "$(dirname "$bin")"' EXIT
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
 
 for _ in $(seq 1 50); do
     curl -fsS "$base/healthz" >/dev/null 2>&1 && break
@@ -57,4 +66,38 @@ probes="$(echo "$metrics" | awk '$1 == "fsr_smt_probes_total" {print $2}')"
 curl -fsS "$base/debug/pprof/cmdline" >/dev/null \
     || { echo "FAIL: /debug/pprof/cmdline not served with -pprof" >&2; exit 1; }
 
-echo "server smoke OK: delta_solves=$delta oracle_mismatches=$mismatch smt_probes=$probes"
+# One-shot analyze at internet scale drives the condensed-solver path; the
+# verdict must be safe and the SCC counters must move on the next scrape.
+curl -fsS -X POST "$base/v1/analyze" -d '{"gadget":"internet:2000"}' \
+    | grep -q '"safe":true'
+scc="$(curl -fsS "$base/metrics" | awk '$1 == "fsr_scc_components_total" {print $2}')"
+[ "${scc:-0}" -gt 0 ] || { echo "FAIL: fsr_scc_components_total=$scc, want > 0" >&2; exit 1; }
+
+# The diagnosis surface serves: dashboard HTML, flight recorder JSON with
+# the analyze recorded, and — because the analyze crossed -slow-op — a slow
+# entry carrying its full span tree, retrievable without any re-run.
+dash="$(curl -fsS -w '\n%{http_code}' "$base/dashboard")"
+[ "$(echo "$dash" | tail -1)" = "200" ] && [ "$(echo "$dash" | wc -c)" -gt 100 ] \
+    || { echo "FAIL: /dashboard not serving" >&2; exit 1; }
+flight="$(curl -fsS "$base/v1/flightrecorder")"
+echo "$flight" | jq -e '.enabled and (.ops | length > 0)' >/dev/null \
+    || { echo "FAIL: flight recorder empty: $flight" >&2; exit 1; }
+echo "$flight" | jq -e '.slow[] | select(.kind == "analyze-spp") | .spans | length > 0' >/dev/null \
+    || { echo "FAIL: no slow op with a span tree in the flight recorder" >&2; exit 1; }
+curl -fsS "$base/v1/timeseries" | jq -e '.interval_ms > 0' >/dev/null \
+    || { echo "FAIL: /v1/timeseries not serving" >&2; exit 1; }
+
+# fsr top renders one frame against the live endpoint.
+"$bin" top -addr "$addr" -once | grep -q "recent operations" \
+    || { echo "FAIL: fsr top -once rendered no operations table" >&2; exit 1; }
+
+# The daemon logged structured JSON: every stderr line must parse, and the
+# request records must carry the standard attrs.
+[ -s "$servelog" ] || { echo "FAIL: serve logged nothing to stderr" >&2; exit 1; }
+jq -e . >/dev/null <"$servelog" \
+    || { echo "FAIL: serve stderr is not a stream of JSON objects" >&2; exit 1; }
+jq -e -s 'map(select(.msg == "request")) | length > 0 and all(.[] ; .method and .path and .code)' \
+    <"$servelog" >/dev/null \
+    || { echo "FAIL: no well-formed request records in serve log" >&2; exit 1; }
+
+echo "server smoke OK: delta_solves=$delta oracle_mismatches=$mismatch smt_probes=$probes scc_components=$scc"

@@ -1,0 +1,24 @@
+// MountDiagnostics wires the whole diagnosis layer onto one mux — the
+// shared entry point for fsr serve and the campaign -metrics-addr
+// listener, so both expose the identical surface.
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// MountDiagnostics mounts GET /v1/timeseries, GET /v1/flightrecorder, and
+// GET /dashboard, enables the runtime collector, and starts a sampler over
+// the default registry plus any extra sources (per-server instruments).
+// The returned stop function halts the sampler; the handlers keep serving
+// whatever window was retained.
+func MountDiagnostics(mux *http.ServeMux, interval, window time.Duration, extra ...SampleSource) (stop func()) {
+	EnableRuntimeMetrics()
+	sources := append([]SampleSource{Default()}, extra...)
+	sampler := NewSampler(interval, window, sources...)
+	mux.Handle("GET /v1/timeseries", sampler.Handler())
+	mux.Handle("GET /v1/flightrecorder", Flight().Handler())
+	mux.Handle("GET /dashboard", DashboardHandler())
+	return sampler.Start()
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightDisabledNoOp: a disabled recorder returns a nil op whose whole
+// surface is callable, and records nothing.
+func TestFlightDisabledNoOp(t *testing.T) {
+	f := NewFlightRecorder(8, 4)
+	ctx, op := f.StartOp(context.Background(), "analyze", "x")
+	if op != nil {
+		t.Fatal("disabled recorder returned a live op")
+	}
+	if TracerFromContext(ctx) != nil {
+		t.Error("disabled recorder attached a tracer")
+	}
+	op.SetSize(3)
+	op.SetVerdict("safe")
+	op.Counter("probes", 7)
+	op.Finish()
+	if snap := f.Snapshot(); snap.Total != 0 || len(snap.Ops) != 0 {
+		t.Errorf("disabled recorder recorded: %+v", snap)
+	}
+}
+
+// TestFlightWraparound: the ring keeps exactly the newest `size` records,
+// snapshot orders them newest-first, and Total counts everything ever seen.
+func TestFlightWraparound(t *testing.T) {
+	f := NewFlightRecorder(4, 2)
+	f.Enable(true)
+	for i := 0; i < 10; i++ {
+		_, op := f.StartOp(context.Background(), "analyze", "g")
+		op.SetSize(i)
+		op.SetVerdict("safe")
+		op.Finish()
+	}
+	snap := f.Snapshot()
+	if snap.Total != 10 {
+		t.Fatalf("Total = %d, want 10", snap.Total)
+	}
+	if len(snap.Ops) != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(snap.Ops))
+	}
+	for i, rec := range snap.Ops {
+		want := uint64(9 - i)
+		if rec.Seq != want {
+			t.Errorf("ops[%d].Seq = %d, want %d (newest first)", i, rec.Seq, want)
+		}
+	}
+	if snap.Ops[0].Size != 9 {
+		t.Errorf("newest record Size = %d, want 9", snap.Ops[0].Size)
+	}
+}
+
+// TestFlightCountersAndVerdict: counters land on the record, zero values
+// are dropped, and the verdict survives.
+func TestFlightCountersAndVerdict(t *testing.T) {
+	f := NewFlightRecorder(8, 4)
+	f.Enable(true)
+	_, op := f.StartOp(context.Background(), "verify", "inst-1")
+	op.SetSize(42)
+	op.SetVerdict("delta/safe")
+	op.Counter("probes", 100)
+	op.Counter("relaxations", 0) // dropped
+	op.Counter("components", 7)
+	op.Finish()
+	rec := f.Snapshot().Ops[0]
+	if rec.Kind != "verify" || rec.Detail != "inst-1" || rec.Size != 42 || rec.Verdict != "delta/safe" {
+		t.Errorf("record fields wrong: %+v", rec)
+	}
+	if rec.Counters["probes"] != 100 || rec.Counters["components"] != 7 {
+		t.Errorf("counters wrong: %v", rec.Counters)
+	}
+	if _, ok := rec.Counters["relaxations"]; ok {
+		t.Error("zero counter retained")
+	}
+}
+
+// TestFlightSlowOpSpanTree: an op past the threshold lands in the slow
+// ring with its full span tree; a fast op does not.
+func TestFlightSlowOpSpanTree(t *testing.T) {
+	f := NewFlightRecorder(8, 4)
+	f.Enable(true)
+	f.SetSlowThreshold(time.Nanosecond) // everything is slow
+
+	ctx, op := f.StartOp(context.Background(), "analyze-spp", "big")
+	_, child := StartSpan(ctx, "solve")
+	child.AttrInt("nodes", 5000)
+	child.End()
+	time.Sleep(time.Millisecond)
+	op.Finish()
+
+	snap := f.Snapshot()
+	if snap.SlowTotal != 1 || len(snap.Slow) != 1 {
+		t.Fatalf("slow ring: total %d, %d entries, want 1/1", snap.SlowTotal, len(snap.Slow))
+	}
+	slow := snap.Slow[0]
+	if !slow.Slow {
+		t.Error("slow record not marked slow in the main ring")
+	}
+	if len(slow.Spans) != 1 || slow.Spans[0].Name != "analyze-spp" {
+		t.Fatalf("span tree root wrong: %+v", slow.Spans)
+	}
+	kids := slow.Spans[0].Children
+	if len(kids) != 1 || kids[0].Name != "solve" {
+		t.Fatalf("child span missing: %+v", kids)
+	}
+
+	// Raise the bar: the next op is fast and stays out of the slow ring.
+	f.SetSlowThreshold(time.Hour)
+	_, fastOp := f.StartOp(context.Background(), "analyze", "small")
+	fastOp.Finish()
+	snap = f.Snapshot()
+	if snap.SlowTotal != 1 {
+		t.Errorf("fast op entered slow ring: total %d", snap.SlowTotal)
+	}
+	if snap.Ops[0].Slow {
+		t.Error("fast op marked slow")
+	}
+}
+
+// TestFlightExistingTracerNotCaptured: when the context already carries a
+// tracer (the caller is running under -trace-out), the op must not steal
+// its spans into the slow ring.
+func TestFlightExistingTracerNotCaptured(t *testing.T) {
+	f := NewFlightRecorder(8, 4)
+	f.Enable(true)
+	f.SetSlowThreshold(time.Nanosecond)
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	_, op := f.StartOp(ctx, "analyze", "traced")
+	time.Sleep(time.Millisecond)
+	op.Finish()
+	snap := f.Snapshot()
+	if snap.SlowTotal != 0 {
+		t.Errorf("op with a caller-owned tracer entered the slow ring: %+v", snap.Slow)
+	}
+	if snap.Ops[0].Slow {
+		t.Error("record marked slow without a captured span tree")
+	}
+}
+
+// TestFlightConcurrent: hammer record and snapshot concurrently; run under
+// -race. Every snapshot must be internally consistent (seqs strictly
+// descending, ring bounded).
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlightRecorder(16, 4)
+	f.Enable(true)
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_, op := f.StartOp(context.Background(), "analyze", "c")
+				op.SetSize(i)
+				op.Counter("probes", int64(i))
+				op.Finish()
+			}
+		}()
+	}
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		for i := 0; i < 100; i++ {
+			snap := f.Snapshot()
+			if len(snap.Ops) > 16 {
+				t.Errorf("ring overgrew: %d", len(snap.Ops))
+				return
+			}
+			for j := 1; j < len(snap.Ops); j++ {
+				if snap.Ops[j-1].Seq <= snap.Ops[j].Seq {
+					t.Errorf("snapshot not newest-first at %d: %d then %d",
+						j, snap.Ops[j-1].Seq, snap.Ops[j].Seq)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-readDone
+	if got := f.Snapshot().Total; got != workers*perWorker {
+		t.Errorf("Total = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestFlightHandler: the HTTP handler serves a decodable snapshot.
+func TestFlightHandler(t *testing.T) {
+	f := NewFlightRecorder(8, 4)
+	f.Enable(true)
+	_, op := f.StartOp(context.Background(), "scenario", "churn-flap")
+	op.SetVerdict("agreement")
+	op.Finish()
+
+	rr := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/v1/flightrecorder", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var snap FlightSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("payload does not decode: %v", err)
+	}
+	if !snap.Enabled || snap.Total != 1 || len(snap.Ops) != 1 || snap.Ops[0].Kind != "scenario" {
+		t.Errorf("snapshot wrong: %+v", snap)
+	}
+}
+
+// BenchmarkFlightDisabled: the disabled path must stay alloc-free — one
+// atomic load, nil op, no-op methods.
+func BenchmarkFlightDisabled(b *testing.B) {
+	f := NewFlightRecorder(256, 32)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, op := f.StartOp(ctx, "analyze", "g")
+		op.SetSize(5)
+		op.SetVerdict("safe")
+		op.Finish()
+	}
+}

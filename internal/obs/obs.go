@@ -315,10 +315,82 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
+// Sample is one series' instantaneous value in structured form — the
+// machine-readable counterpart of the text exposition, consumed by the
+// time-series sampler (tsdb.go) and anything else that wants numbers
+// without re-parsing Prometheus text. For histograms, Buckets holds the
+// finite upper bounds and Counts the per-bucket (non-cumulative)
+// observation counts; Count and Sum are the series totals.
+type Sample struct {
+	Name   string
+	Labels string // rendered label set, "" when label-free
+	Kind   string // "counter", "gauge", or "histogram"
+	Value  float64
+	// Histogram-only fields.
+	Buckets []float64
+	Counts  []uint64
+	Count   uint64
+	Sum     float64
+}
+
+// Key names the sample's series uniquely: name{labels}.
+func (s Sample) Key() string {
+	if s.Labels == "" {
+		return s.Name
+	}
+	return s.Name + "{" + s.Labels + "}"
+}
+
+// SampleSource is anything that can report its series as structured
+// samples: a Registry, or an individual instrument (every obs instrument
+// implements it, so unregistered per-server metrics can feed the same
+// sampler as the process-global registry).
+type SampleSource interface {
+	Samples() []Sample
+}
+
+// Samples reports the counter as a one-element sample set.
+func (c *Counter) Samples() []Sample {
+	return []Sample{{Name: c.name, Kind: "counter", Value: float64(c.v.Load())}}
+}
+
+// Samples reports the gauge as a one-element sample set.
+func (g *Gauge) Samples() []Sample {
+	return []Sample{{Name: g.name, Kind: "gauge", Value: g.Value()}}
+}
+
+// Samples reports one sample per materialized series.
+func (c *CounterVec) Samples() []Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Sample, 0, len(c.vals))
+	for _, key := range sortedKeys(c.vals) {
+		out = append(out, Sample{Name: c.name, Labels: key, Kind: "counter", Value: c.vals[key]})
+	}
+	return out
+}
+
+// Samples reports one sample per materialized series, with bucket data.
+func (h *HistogramVec) Samples() []Sample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Sample, 0, len(h.series))
+	for _, key := range sortedKeys(h.series) {
+		s := h.series[key]
+		out = append(out, Sample{
+			Name: h.name, Labels: key, Kind: "histogram",
+			Buckets: h.buckets, Counts: append([]uint64(nil), s.counts...),
+			Count: s.count, Sum: s.sum,
+		})
+	}
+	return out
+}
+
 // metric is anything the registry can expose.
 type metric interface {
 	metricName() string
 	Expose(b *strings.Builder)
+	Samples() []Sample
 }
 
 // Registry is an ordered collection of metrics. Registration is
@@ -329,6 +401,7 @@ type Registry struct {
 	mu     sync.Mutex
 	byName map[string]metric
 	order  []metric
+	hooks  []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -376,9 +449,30 @@ func (r *Registry) HistogramVec(name, help string, labels ...string) *HistogramV
 	return register(r, name, func() *HistogramVec { return NewHistogramVec(name, help, labels...) })
 }
 
+// AddHook registers f to run at the start of every Expose and Samples
+// call — the seam lazy collectors (runtime stats) use to refresh their
+// gauges only when someone is actually looking.
+func (r *Registry) AddHook(f func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.mu.Unlock()
+}
+
+// runHooks snapshots and runs the hooks outside the registry lock (hooks
+// set gauges, which synchronize on their own atomics).
+func (r *Registry) runHooks() {
+	r.mu.Lock()
+	hooks := r.hooks
+	r.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
+}
+
 // Expose renders every registered metric, in registration order, in
 // Prometheus text exposition format.
 func (r *Registry) Expose() string {
+	r.runHooks()
 	r.mu.Lock()
 	metrics := append([]metric(nil), r.order...)
 	r.mu.Unlock()
@@ -387,6 +481,20 @@ func (r *Registry) Expose() string {
 		m.Expose(&b)
 	}
 	return b.String()
+}
+
+// Samples reports every registered series as structured samples, in
+// registration order.
+func (r *Registry) Samples() []Sample {
+	r.runHooks()
+	r.mu.Lock()
+	metrics := append([]metric(nil), r.order...)
+	r.mu.Unlock()
+	var out []Sample
+	for _, m := range metrics {
+		out = append(out, m.Samples()...)
+	}
+	return out
 }
 
 // Handler serves the registry as a Prometheus scrape target.

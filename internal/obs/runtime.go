@@ -1,0 +1,39 @@
+// Process-health collector: goroutine count, heap size, last GC pause,
+// and GOMAXPROCS as gauges in the default registry, refreshed lazily by
+// an expose hook — the runtime is only interrogated when someone scrapes
+// /metrics or the sampler ticks, never on a pipeline hot path.
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+var runtimeOnce sync.Once
+
+// EnableRuntimeMetrics registers the process-health gauges in the default
+// registry (idempotent). ReadMemStats runs only on scrape, via the
+// registry's expose hook.
+func EnableRuntimeMetrics() {
+	runtimeOnce.Do(func() {
+		r := Default()
+		goroutines := r.Gauge("fsr_goroutines",
+			"Live goroutines in the process.")
+		heap := r.Gauge("fsr_heap_alloc_bytes",
+			"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
+		gcPause := r.Gauge("fsr_gc_pause_last_ns",
+			"Duration of the most recent stop-the-world GC pause, in nanoseconds.")
+		maxprocs := r.Gauge("fsr_gomaxprocs",
+			"GOMAXPROCS at last scrape.")
+		r.AddHook(func() {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			goroutines.Set(float64(runtime.NumGoroutine()))
+			heap.Set(float64(ms.HeapAlloc))
+			if ms.NumGC > 0 {
+				gcPause.Set(float64(ms.PauseNs[(ms.NumGC+255)%256]))
+			}
+			maxprocs.Set(float64(runtime.GOMAXPROCS(0)))
+		})
+	})
+}

@@ -185,6 +185,77 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 	return enc.Encode(map[string][]traceEvent{"traceEvents": events})
 }
 
+// SpanNode is one span in a nested tree rendering of a trace — the form
+// the flight recorder retains for slow operations, inspectable as JSON
+// without loading a trace viewer.
+type SpanNode struct {
+	Name     string            `json:"name"`
+	StartUS  float64           `json:"start_us"`
+	DurUS    float64           `json:"dur_us"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// SpanTree renders every recorded span as a forest nested by containment:
+// spans on the same track whose intervals enclose a later span become its
+// ancestors (exactly how StartSpan nests children on the parent's track).
+// Roots are ordered by start time across tracks.
+func (t *Tracer) SpanTree() []*SpanNode {
+	var all []spanEvent
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		all = append(all, sh.events...)
+		sh.mu.Unlock()
+	}
+	// Within a track, sort by start ascending and duration descending so a
+	// parent precedes the children it encloses even when they share a
+	// start instant.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].track != all[j].track {
+			return all[i].track < all[j].track
+		}
+		if all[i].start != all[j].start {
+			return all[i].start < all[j].start
+		}
+		return all[i].dur > all[j].dur
+	})
+	var roots []*SpanNode
+	var stack []*SpanNode // enclosing spans of the current track
+	var ends []time.Duration
+	lastTrack := int64(-1)
+	for _, e := range all {
+		if e.track != lastTrack {
+			stack, ends = stack[:0], ends[:0]
+			lastTrack = e.track
+		}
+		n := &SpanNode{
+			Name:    e.name,
+			StartUS: float64(e.start) / float64(time.Microsecond),
+			DurUS:   float64(e.dur) / float64(time.Microsecond),
+		}
+		if len(e.attrs) > 0 {
+			n.Attrs = make(map[string]string, len(e.attrs))
+			for _, a := range e.attrs {
+				n.Attrs[a.key] = a.val
+			}
+		}
+		for len(stack) > 0 && e.start >= ends[len(ends)-1] {
+			stack, ends = stack[:len(stack)-1], ends[:len(ends)-1]
+		}
+		if len(stack) > 0 {
+			p := stack[len(stack)-1]
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+		stack = append(stack, n)
+		ends = append(ends, e.start+e.dur)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].StartUS < roots[j].StartUS })
+	return roots
+}
+
 // SpanCount reports how many spans have been recorded, for tests and
 // progress reporting.
 func (t *Tracer) SpanCount() int {

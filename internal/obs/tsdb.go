@@ -1,0 +1,238 @@
+// Fixed-window time-series retention: a Sampler scrapes SampleSources
+// (the default registry, plus any per-server instruments) on an interval
+// and keeps a sliding window of derived points — counters become rates,
+// gauges stay points, histograms become p50/p99 quantiles and an
+// observation rate. Served as JSON at /v1/timeseries and rendered by the
+// /dashboard sparklines. This is deliberately not a database: the window
+// is bounded, eviction is by age, and everything lives in memory.
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one retained sample: unix-millisecond timestamp and value.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Series is one retained time series, oldest point first.
+type Series struct {
+	Name string `json:"name"`
+	// Kind is the derivation: "rate" (per-second counter rate), "gauge"
+	// (raw value), or "quantile" (interpolated histogram quantile).
+	Kind   string  `json:"kind"`
+	Points []Point `json:"points"`
+}
+
+// Sampler scrapes its sources every Interval and retains Window of
+// derived points per series.
+type Sampler struct {
+	sources  []SampleSource
+	interval time.Duration
+	window   time.Duration
+
+	mu     sync.Mutex
+	series map[string]*Series
+	// last raw values, for rate and quantile derivation between scrapes.
+	lastCounter map[string]float64
+	lastHist    map[string]histState
+	lastScrape  time.Time
+}
+
+type histState struct {
+	counts []uint64
+	count  uint64
+}
+
+// NewSampler returns a stopped sampler over the sources. Non-positive
+// interval defaults to 2s; non-positive window to 5 minutes.
+func NewSampler(interval, window time.Duration, sources ...SampleSource) *Sampler {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if window <= 0 {
+		window = 5 * time.Minute
+	}
+	return &Sampler{
+		sources:     sources,
+		interval:    interval,
+		window:      window,
+		series:      map[string]*Series{},
+		lastCounter: map[string]float64{},
+		lastHist:    map[string]histState{},
+	}
+}
+
+// Start launches the scrape loop; the returned stop function halts it.
+func (s *Sampler) Start() (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(s.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				s.sampleOnce(now)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// sampleOnce performs one scrape at the given instant: derive points from
+// every source's samples, append, and evict points older than the window.
+// Exposed to tests through the package; the scrape loop is just a ticker
+// around it.
+func (s *Sampler) sampleOnce(now time.Time) {
+	var samples []Sample
+	for _, src := range s.sources {
+		samples = append(samples, src.Samples()...)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dt := s.interval.Seconds()
+	if !s.lastScrape.IsZero() {
+		if d := now.Sub(s.lastScrape).Seconds(); d > 0 {
+			dt = d
+		}
+	}
+	s.lastScrape = now
+	t := now.UnixMilli()
+	for _, smp := range samples {
+		key := smp.Key()
+		switch smp.Kind {
+		case "counter":
+			last, seen := s.lastCounter[key]
+			s.lastCounter[key] = smp.Value
+			if !seen {
+				// No baseline yet: treating the lifetime total as one
+				// interval's delta would spike the first rate point.
+				continue
+			}
+			delta := smp.Value - last
+			if delta < 0 {
+				// Counter reset (a re-created source behind a shared name):
+				// the new total is the delta since the reset.
+				delta = smp.Value
+			}
+			s.append(key, "rate", t, delta/dt)
+		case "gauge":
+			s.append(key, "gauge", t, smp.Value)
+		case "histogram":
+			prev := s.lastHist[key]
+			s.lastHist[key] = histState{counts: append([]uint64(nil), smp.Counts...), count: smp.Count}
+			if prev.counts == nil {
+				continue
+			}
+			deltas := make([]uint64, len(smp.Counts))
+			total := uint64(0)
+			for i := range smp.Counts {
+				d := smp.Counts[i]
+				if prev.counts != nil && i < len(prev.counts) {
+					d -= prev.counts[i]
+				}
+				deltas[i] = d
+				total += d
+			}
+			s.append(key+"_rate", "rate", t, float64(smp.Count-prev.count)/dt)
+			if total > 0 {
+				s.append(key+"_p50", "quantile", t, quantile(0.5, smp.Buckets, deltas, total))
+				s.append(key+"_p99", "quantile", t, quantile(0.99, smp.Buckets, deltas, total))
+			}
+		}
+	}
+	cutoff := now.Add(-s.window).UnixMilli()
+	for name, sr := range s.series {
+		i := 0
+		for i < len(sr.Points) && sr.Points[i].T < cutoff {
+			i++
+		}
+		if i > 0 {
+			sr.Points = append(sr.Points[:0], sr.Points[i:]...)
+		}
+		if len(sr.Points) == 0 {
+			delete(s.series, name)
+		}
+	}
+}
+
+func (s *Sampler) append(name, kind string, t int64, v float64) {
+	sr := s.series[name]
+	if sr == nil {
+		sr = &Series{Name: name, Kind: kind}
+		s.series[name] = sr
+	}
+	sr.Points = append(sr.Points, Point{T: t, V: v})
+}
+
+// quantile interpolates the q-quantile from one interval's bucket deltas,
+// the way Prometheus histogram_quantile does: find the bucket holding the
+// target rank and interpolate linearly inside it. Observations beyond the
+// last finite bound clamp to that bound.
+func quantile(q float64, bounds []float64, deltas []uint64, total uint64) float64 {
+	if len(bounds) == 0 || total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, d := range deltas {
+		prev := cum
+		cum += float64(d)
+		if cum >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			hi := bounds[i]
+			if d == 0 {
+				return hi
+			}
+			return lo + (hi-lo)*(rank-prev)/float64(d)
+		}
+	}
+	// Target rank falls in the implicit +Inf bucket.
+	return bounds[len(bounds)-1]
+}
+
+// timeseriesPayload is the /v1/timeseries response body.
+type timeseriesPayload struct {
+	IntervalMS int64    `json:"interval_ms"`
+	WindowMS   int64    `json:"window_ms"`
+	Series     []Series `json:"series"`
+}
+
+// Snapshot returns every retained series, sorted by name, with copied
+// point slices safe to hold across further scrapes.
+func (s *Sampler) Snapshot() []Series {
+	s.mu.Lock()
+	out := make([]Series, 0, len(s.series))
+	for _, sr := range s.series {
+		out = append(out, Series{Name: sr.Name, Kind: sr.Kind, Points: append([]Point(nil), sr.Points...)})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Handler serves the retained window as JSON — GET /v1/timeseries.
+func (s *Sampler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		enc.Encode(timeseriesPayload{
+			IntervalMS: s.interval.Milliseconds(),
+			WindowMS:   s.window.Milliseconds(),
+			Series:     s.Snapshot(),
+		})
+	})
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeSource scripts the samples each scrape sees.
+type fakeSource struct{ samples []Sample }
+
+func (f *fakeSource) Samples() []Sample { return f.samples }
+
+func seriesByName(t *testing.T, s *Sampler, name string) Series {
+	t.Helper()
+	for _, sr := range s.Snapshot() {
+		if sr.Name == name {
+			return sr
+		}
+	}
+	t.Fatalf("series %q not retained (have %v)", name, seriesNames(s))
+	return Series{}
+}
+
+func seriesNames(s *Sampler) []string {
+	var out []string
+	for _, sr := range s.Snapshot() {
+		out = append(out, sr.Name)
+	}
+	return out
+}
+
+// TestSamplerCounterRate: the first scrape only establishes the baseline;
+// subsequent scrapes derive per-second rates from deltas; a counter reset
+// yields the post-reset total as the delta, never a negative rate.
+func TestSamplerCounterRate(t *testing.T) {
+	src := &fakeSource{}
+	s := NewSampler(time.Second, time.Minute, src)
+	t0 := time.Unix(1000, 0)
+
+	src.samples = []Sample{{Name: "fsr_ops_total", Kind: "counter", Value: 100}}
+	s.sampleOnce(t0)
+	if names := seriesNames(s); len(names) != 0 {
+		t.Fatalf("baseline scrape emitted points: %v", names)
+	}
+
+	src.samples = []Sample{{Name: "fsr_ops_total", Kind: "counter", Value: 150}}
+	s.sampleOnce(t0.Add(2 * time.Second))
+	sr := seriesByName(t, s, "fsr_ops_total")
+	if sr.Kind != "rate" || len(sr.Points) != 1 {
+		t.Fatalf("series = %+v, want one rate point", sr)
+	}
+	if got := sr.Points[0].V; got != 25 { // 50 ops over 2s
+		t.Errorf("rate = %v, want 25", got)
+	}
+
+	// Counter reset: 150 → 30 means 30 new ops since the reset.
+	src.samples = []Sample{{Name: "fsr_ops_total", Kind: "counter", Value: 30}}
+	s.sampleOnce(t0.Add(4 * time.Second))
+	sr = seriesByName(t, s, "fsr_ops_total")
+	if got := sr.Points[len(sr.Points)-1].V; got != 15 { // 30 over 2s
+		t.Errorf("post-reset rate = %v, want 15", got)
+	}
+}
+
+// TestSamplerWindowEviction: points age out of the window, and a series
+// with no surviving points disappears entirely.
+func TestSamplerWindowEviction(t *testing.T) {
+	src := &fakeSource{samples: []Sample{{Name: "fsr_resident", Kind: "gauge", Value: 1}}}
+	s := NewSampler(time.Second, 10*time.Second, src)
+	t0 := time.Unix(2000, 0)
+	for i := 0; i < 5; i++ {
+		s.sampleOnce(t0.Add(time.Duration(i) * time.Second))
+	}
+	if got := len(seriesByName(t, s, "fsr_resident").Points); got != 5 {
+		t.Fatalf("retained %d points, want 5", got)
+	}
+	// Jump past the window: the old points must all evict, the new scrape's
+	// point survives.
+	s.sampleOnce(t0.Add(30 * time.Second))
+	sr := seriesByName(t, s, "fsr_resident")
+	if len(sr.Points) != 1 || sr.Points[0].T != t0.Add(30*time.Second).UnixMilli() {
+		t.Errorf("eviction kept %+v, want only the newest point", sr.Points)
+	}
+
+	// A source that stops reporting ages its series out of the map.
+	src.samples = nil
+	s.sampleOnce(t0.Add(50 * time.Second))
+	if names := seriesNames(s); len(names) != 0 {
+		t.Errorf("stale series survived eviction: %v", names)
+	}
+}
+
+// TestSamplerHistogram: histograms derive an observation rate plus p50/p99
+// interpolated from the interval's bucket deltas.
+func TestSamplerHistogram(t *testing.T) {
+	bounds := []float64{0.1, 1, 10}
+	src := &fakeSource{samples: []Sample{{
+		Name: "fsr_verify_seconds", Kind: "histogram",
+		Buckets: bounds, Counts: []uint64{0, 0, 0}, Count: 0,
+	}}}
+	s := NewSampler(time.Second, time.Minute, src)
+	t0 := time.Unix(3000, 0)
+	s.sampleOnce(t0) // baseline
+
+	// 100 observations this interval, all in (0.1, 1].
+	src.samples = []Sample{{
+		Name: "fsr_verify_seconds", Kind: "histogram",
+		Buckets: bounds, Counts: []uint64{0, 100, 0}, Count: 100,
+	}}
+	s.sampleOnce(t0.Add(time.Second))
+
+	if got := seriesByName(t, s, "fsr_verify_seconds_rate").Points[0].V; got != 100 {
+		t.Errorf("observation rate = %v, want 100", got)
+	}
+	p50 := seriesByName(t, s, "fsr_verify_seconds_p50").Points[0].V
+	if p50 <= 0.1 || p50 > 1 {
+		t.Errorf("p50 = %v, want inside (0.1, 1]", p50)
+	}
+	p99 := seriesByName(t, s, "fsr_verify_seconds_p99").Points[0].V
+	if p99 <= p50 || p99 > 1 {
+		t.Errorf("p99 = %v, want (p50, 1]", p99)
+	}
+}
+
+// TestQuantileEdges: the interpolator's boundary behavior.
+func TestQuantileEdges(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	if got := quantile(0.5, nil, nil, 0); got != 0 {
+		t.Errorf("empty histogram: %v, want 0", got)
+	}
+	// All mass beyond the last finite bound clamps to it.
+	if got := quantile(0.5, bounds, []uint64{0, 0, 0}, 10); got != 4 {
+		t.Errorf("+Inf bucket: %v, want clamp to 4", got)
+	}
+	// Uniform mass in the first bucket: median is mid-bucket.
+	if got := quantile(0.5, bounds, []uint64{10, 0, 0}, 10); got != 0.5 {
+		t.Errorf("first-bucket median: %v, want 0.5", got)
+	}
+}
+
+// TestSamplerHandler: /v1/timeseries serves interval, window, and the
+// retained series as JSON.
+func TestSamplerHandler(t *testing.T) {
+	src := &fakeSource{samples: []Sample{{Name: "fsr_resident", Kind: "gauge", Value: 3}}}
+	s := NewSampler(2*time.Second, time.Minute, src)
+	s.sampleOnce(time.Unix(4000, 0))
+
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/v1/timeseries", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var payload struct {
+		IntervalMS int64    `json:"interval_ms"`
+		WindowMS   int64    `json:"window_ms"`
+		Series     []Series `json:"series"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("payload does not decode: %v", err)
+	}
+	if payload.IntervalMS != 2000 || payload.WindowMS != 60000 {
+		t.Errorf("interval/window = %d/%d, want 2000/60000", payload.IntervalMS, payload.WindowMS)
+	}
+	if len(payload.Series) != 1 || payload.Series[0].Name != "fsr_resident" ||
+		len(payload.Series[0].Points) != 1 || payload.Series[0].Points[0].V != 3 {
+		t.Errorf("series payload wrong: %+v", payload.Series)
+	}
+}
+
+// TestDashboardHandler: the dashboard is a self-contained HTML page that
+// references the two JSON endpoints it renders.
+func TestDashboardHandler(t *testing.T) {
+	rr := httptest.NewRecorder()
+	DashboardHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/dashboard", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{"<!DOCTYPE html>", "/v1/timeseries", "/v1/flightrecorder"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+}

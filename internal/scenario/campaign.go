@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
+	"log/slog"
 	"runtime"
 	"sort"
 	"strings"
@@ -58,12 +58,13 @@ type Spec struct {
 	// Runner executes instances (default engine.SimRunner; campaigns want a
 	// simulation backend — deployment runners make runs wall-clock bound).
 	Runner engine.Runner
-	// Progress, when non-nil, receives a periodic one-line status (done
-	// count, scenarios/sec, per-outcome tallies) every ProgressEvery plus a
-	// final summary table. The CLI points this at stderr; the library
+	// Logger, when non-nil, receives a periodic progress record (done
+	// count, scenarios/sec, per-outcome tallies) every ProgressEvery, a
+	// shrink notice, and a final summary record. The CLI wires its leveled
+	// logger here (so -quiet and -log-format apply uniformly); the library
 	// default (nil) stays silent.
-	Progress io.Writer
-	// ProgressEvery is the period of progress lines (default 5 s).
+	Logger *slog.Logger
+	// ProgressEvery is the period of progress records (default 5 s).
 	ProgressEvery time.Duration
 }
 
@@ -409,6 +410,19 @@ func runOne(ctx context.Context, spec Spec, index int) (res Result) {
 	kind := spec.Kinds[index%len(spec.Kinds)]
 	seed := spec.BaseSeed + int64(index)
 	res = Result{Index: index, Kind: kind, Seed: seed}
+	var op *obs.Op
+	ctx, op = obs.Flight().StartOp(ctx, "scenario", string(kind))
+	// Registered before the recover defer so the panic path's OutcomeError
+	// verdict is already in res when the op finishes (defers run LIFO).
+	defer func() {
+		if op != nil {
+			op.SetSize(res.Nodes)
+			op.SetVerdict(res.Outcome.String())
+			op.Counter("fault_ops", int64(res.FaultOps))
+			op.Counter("route_changes", int64(res.RouteChanges))
+			op.Finish()
+		}
+	}()
 	defer func() {
 		if p := recover(); p != nil {
 			res.Outcome = OutcomeError
@@ -561,7 +575,7 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		}()
 	}
 	var stop chan struct{}
-	if spec.Progress != nil {
+	if spec.Logger != nil {
 		stop = make(chan struct{})
 		go func() {
 			tick := time.NewTicker(spec.ProgressEvery)
@@ -571,7 +585,7 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 				case <-stop:
 					return
 				case <-tick.C:
-					fmt.Fprintln(spec.Progress, progressLine(&done, &tally, len(rep.Results), start))
+					spec.Logger.Info("campaign progress", progressAttrs(&done, &tally, len(rep.Results), start)...)
 				}
 			}
 		}()
@@ -579,66 +593,68 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 	wg.Wait()
 	if stop != nil {
 		close(stop)
-		fmt.Fprintln(spec.Progress, progressLine(&done, &tally, len(rep.Results), start))
+		spec.Logger.Info("campaign progress", progressAttrs(&done, &tally, len(rep.Results), start)...)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if spec.Shrink {
-		if spec.Progress != nil && len(rep.Interesting()) > 0 {
-			fmt.Fprintf(spec.Progress, "campaign: shrinking %d interesting result(s)\n",
-				min(len(rep.Interesting()), spec.MaxShrink))
+		if spec.Logger != nil && len(rep.Interesting()) > 0 {
+			spec.Logger.Info("campaign shrinking",
+				"interesting", min(len(rep.Interesting()), spec.MaxShrink))
 		}
 		if err := shrinkInteresting(ctx, spec, rep); err != nil {
 			return nil, err
 		}
 	}
-	if spec.Progress != nil {
-		writeSummary(spec.Progress, rep, time.Since(start))
+	if spec.Logger != nil {
+		logSummary(spec.Logger, rep, time.Since(start))
 	}
 	return rep, nil
 }
 
-// progressLine renders one periodic status line: completion, throughput,
+// progressAttrs builds one periodic status record: completion, throughput,
 // and the nonzero outcome tallies so far.
-func progressLine(done *atomic.Int64, tally *[numOutcomes]atomic.Int64, total int, start time.Time) string {
+func progressAttrs(done *atomic.Int64, tally *[numOutcomes]atomic.Int64, total int, start time.Time) []any {
 	d := done.Load()
 	elapsed := time.Since(start).Seconds()
 	rate := 0.0
 	if elapsed > 0 {
 		rate = float64(d) / elapsed
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "campaign: %d/%d scenarios (%.1f/s)", d, total, rate)
+	attrs := []any{"done", d, "total", total, "per_sec", fmt.Sprintf("%.1f", rate)}
 	for i, o := range outcomeOrder {
 		if n := tally[i].Load(); n > 0 {
-			fmt.Fprintf(&b, " %s=%d", o, n)
+			attrs = append(attrs, o.String(), n)
 		}
 	}
-	return b.String()
+	return attrs
 }
 
-// writeSummary renders the final per-outcome table after a sweep.
-func writeSummary(w io.Writer, rep *Report, elapsed time.Duration) {
+// logSummary emits the final per-outcome summary record after a sweep.
+func logSummary(l *slog.Logger, rep *Report, elapsed time.Duration) {
 	rate := 0.0
 	if s := elapsed.Seconds(); s > 0 {
 		rate = float64(len(rep.Results)) / s
 	}
-	fmt.Fprintf(w, "campaign: done — %d scenario(s) in %v (%.1f/s)\n",
-		len(rep.Results), elapsed.Round(time.Millisecond), rate)
-	fmt.Fprintf(w, "  %-12s %6s\n", "outcome", "count")
+	attrs := []any{
+		"scenarios", len(rep.Results),
+		"elapsed", elapsed.Round(time.Millisecond).String(),
+		"per_sec", fmt.Sprintf("%.1f", rate),
+	}
 	tally := rep.Tally()
 	for _, o := range outcomeOrder {
 		if n := tally[o]; n > 0 {
-			fmt.Fprintf(w, "  %-12s %6d\n", o, n)
+			attrs = append(attrs, o.String(), n)
 		}
 	}
 	if faults, dropped, _ := rep.FaultTotals(); faults > 0 {
-		fmt.Fprintf(w, "  faults injected: %d, messages dropped: %d\n", faults, dropped)
+		attrs = append(attrs, "faults_injected", faults, "messages_dropped", dropped)
 	}
 	if len(rep.Shrunk) > 0 {
-		fmt.Fprintf(w, "  %-12s %6d\n", "shrunk", len(rep.Shrunk))
+		attrs = append(attrs, "shrunk", len(rep.Shrunk))
 	}
+	l.Info("campaign done", attrs...)
 }
 
 // shrinkInteresting minimizes up to spec.MaxShrink interesting results,

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fsr/internal/analysis"
+	"fsr/internal/obs"
+	"fsr/internal/spp"
+)
+
+// newDiagServer wires a Server with the analyze seam the public layer
+// injects, against a stub analyzer the tests control.
+func newDiagServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Options{
+		Gadget: func(name string) (*spp.Instance, error) {
+			return spp.Figure3IBGPFixed(), nil
+		},
+		Analyze: func(ctx context.Context, in *spp.Instance) (analysis.Result, []spp.Node, error) {
+			res := analysis.Result{Sat: true, NumPreference: 3, NumMonotonicity: 4}
+			res.Stats.Components = 7
+			res.Stats.TrivialComponents = 5
+			res.Stats.Levels = 2
+			res.Stats.MaxLevelWidth = 4
+			res.Stats.Probes = 100
+			res.Stats.Relaxations = 20
+			return res, nil, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// TestServerAnalyze: POST /v1/analyze resolves the gadget, runs the
+// injected analyzer, and reports verdict plus condensation shape.
+func TestServerAnalyze(t *testing.T) {
+	_, ts := newDiagServer(t)
+	var resp struct {
+		Name          string `json:"name"`
+		Nodes         int    `json:"nodes"`
+		Safe          bool   `json:"safe"`
+		Components    int    `json:"components"`
+		Levels        int    `json:"levels"`
+		MaxLevelWidth int    `json:"max_level_width"`
+		Probes        int    `json:"probes"`
+	}
+	code := call(t, "POST", ts.URL+"/v1/analyze",
+		map[string]any{"gadget": "fig3-fixed"}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("analyze: status %d", code)
+	}
+	if !resp.Safe || resp.Components != 7 || resp.Levels != 2 ||
+		resp.MaxLevelWidth != 4 || resp.Probes != 100 {
+		t.Errorf("analyze response wrong: %+v", resp)
+	}
+	if resp.Nodes == 0 || resp.Name == "" {
+		t.Errorf("instance identity missing: %+v", resp)
+	}
+}
+
+// TestServerAnalyzeUnmounted: a Server without the seam answers 404 — the
+// route is simply absent, not half-wired.
+func TestServerAnalyzeUnmounted(t *testing.T) {
+	_, ts := newTestServer(t, false)
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json",
+		strings.NewReader(`{"gadget":"fig3"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unmounted analyze: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerDiagnosticsEndpoints: every Server mounts the diagnosis
+// surface — timeseries, flight recorder, dashboard — with live payloads.
+func TestServerDiagnosticsEndpoints(t *testing.T) {
+	_, ts := newDiagServer(t)
+
+	var tsPayload struct {
+		IntervalMS int64             `json:"interval_ms"`
+		WindowMS   int64             `json:"window_ms"`
+		Series     []json.RawMessage `json:"series"`
+	}
+	if code := call(t, "GET", ts.URL+"/v1/timeseries", nil, &tsPayload); code != http.StatusOK {
+		t.Fatalf("timeseries: status %d", code)
+	}
+	if tsPayload.IntervalMS <= 0 || tsPayload.WindowMS <= 0 {
+		t.Errorf("timeseries config missing: %+v", tsPayload)
+	}
+
+	// Drive one op through the flight recorder so the snapshot is non-empty.
+	// Handler() enabled the global recorder; record against it directly.
+	_, op := obs.Flight().StartOp(context.Background(), "verify", "diag-test")
+	op.SetVerdict("full/safe")
+	op.Finish()
+	var fl struct {
+		Enabled bool   `json:"enabled"`
+		Total   uint64 `json:"total"`
+		Ops     []struct {
+			Kind    string `json:"kind"`
+			Verdict string `json:"verdict"`
+		} `json:"ops"`
+	}
+	if code := call(t, "GET", ts.URL+"/v1/flightrecorder", nil, &fl); code != http.StatusOK {
+		t.Fatalf("flightrecorder: status %d", code)
+	}
+	if !fl.Enabled || fl.Total == 0 || len(fl.Ops) == 0 {
+		t.Errorf("flight snapshot empty: %+v", fl)
+	}
+
+	resp, err := http.Get(ts.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dashboard: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("dashboard Content-Type = %q", ct)
+	}
+}

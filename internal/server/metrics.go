@@ -82,6 +82,23 @@ func (m *Metrics) Expose() string {
 	return b.String()
 }
 
+// Samples returns every daemon instrument's current samples — the
+// obs.SampleSource view that lets a time-series sampler scrape the
+// per-Server registry alongside the process-global one.
+func (m *Metrics) Samples() []obs.Sample {
+	var out []obs.Sample
+	out = append(out, m.Requests.Samples()...)
+	out = append(out, m.Latency.Samples()...)
+	out = append(out, m.Resident.Samples()...)
+	out = append(out, m.DeltaSolves.Samples()...)
+	out = append(out, m.FullSolves.Samples()...)
+	out = append(out, m.CacheHits.Samples()...)
+	out = append(out, m.VerifyDuration.Samples()...)
+	out = append(out, m.OracleMismatches.Samples()...)
+	out = append(out, m.Panics.Samples()...)
+	return out
+}
+
 // handler serves the daemon registry followed by the process-global obs
 // registry (solver, simulator, and campaign series) as one scrape target.
 func (m *Metrics) handler(w http.ResponseWriter, _ *http.Request) {

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"regexp"
@@ -14,6 +16,7 @@ import (
 	"time"
 
 	"fsr/internal/analysis"
+	"fsr/internal/obs"
 	"fsr/internal/scenario"
 	"fsr/internal/spp"
 )
@@ -32,8 +35,19 @@ type Options struct {
 	// default: the profiling surface leaks heap contents and must be
 	// opted into on trusted listeners only.
 	Pprof bool
-	// Logf receives one line per request when non-nil.
-	Logf func(format string, args ...any)
+	// Logger receives structured request, panic, and lifecycle records
+	// when non-nil.
+	Logger *slog.Logger
+	// Analyze decides a one-shot instance for POST /v1/analyze. The public
+	// fsr layer injects Session.AnalyzeSPP here (same downward-injection
+	// pattern as Gadget); nil disables the endpoint. One-shot analysis is
+	// how internet-scale instances reach the sharded/SCC fast path without
+	// becoming resident delta verifiers.
+	Analyze func(ctx context.Context, in *spp.Instance) (analysis.Result, []spp.Node, error)
+	// DiagInterval and DiagWindow shape the time-series sampler backing
+	// /v1/timeseries and /dashboard (defaults: 2s interval, 5m window).
+	DiagInterval time.Duration
+	DiagWindow   time.Duration
 }
 
 // Server is the verification daemon: a registry of named resident
@@ -41,6 +55,9 @@ type Options struct {
 type Server struct {
 	opts    Options
 	metrics *Metrics
+
+	stopOnce sync.Once
+	stopDiag func()
 
 	mu        sync.Mutex
 	instances map[string]*instanceEntry
@@ -72,9 +89,16 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 //	GET  /v1/instances/{id}         inspect one instance and its solver stats
 //	POST /v1/instances/{id}/verify  decide safety (delta when possible)
 //	POST /v1/instances/{id}/whatif  apply edits, re-verify, optionally discard
+//	POST /v1/analyze                one-shot analysis (Options.Analyze only)
 //	GET  /healthz                   liveness
 //	GET  /metrics                   Prometheus text exposition
+//	GET  /v1/timeseries             retained metric samples (JSON)
+//	GET  /v1/flightrecorder         recent and slow operations (JSON)
+//	GET  /dashboard                 live HTML dashboard
 //	     /debug/pprof/              runtime profiling (Options.Pprof only)
+//
+// Handler also enables the flight recorder and starts the time-series
+// sampler; call Close to stop it.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/instances", s.instrument("create", s.handleCreate))
@@ -82,12 +106,35 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/instances/{id}", s.instrument("get", s.handleGet))
 	mux.HandleFunc("POST /v1/instances/{id}/verify", s.instrument("verify", s.handleVerify))
 	mux.HandleFunc("POST /v1/instances/{id}/whatif", s.instrument("whatif", s.handleWhatIf))
+	if s.opts.Analyze != nil {
+		mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	}
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.handler))
+	interval, window := s.opts.DiagInterval, s.opts.DiagWindow
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if window <= 0 {
+		window = 5 * time.Minute
+	}
+	obs.Flight().Enable(true)
+	s.stopDiag = obs.MountDiagnostics(mux, interval, window, s.metrics)
 	if s.opts.Pprof {
 		MountPprof(mux)
 	}
 	return mux
+}
+
+// Close stops the time-series sampler started by Handler. Safe to call
+// more than once; the diagnostic endpoints keep serving the retained
+// window.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() {
+		if s.stopDiag != nil {
+			s.stopDiag()
+		}
+	})
 }
 
 // MountPprof registers the net/http/pprof handlers on mux under
@@ -132,8 +179,10 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		defer func() {
 			if p := recover(); p != nil {
 				s.metrics.Panics.Inc(endpoint)
-				if s.opts.Logf != nil {
-					s.opts.Logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if s.opts.Logger != nil {
+					s.opts.Logger.Error("panic serving request",
+						"method", r.Method, "path", r.URL.Path,
+						"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 				}
 				if !sw.wrote {
 					writeErr(sw, http.StatusInternalServerError, "internal error")
@@ -143,8 +192,10 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			elapsed := time.Since(start)
 			s.metrics.Requests.Inc(endpoint, strconv.Itoa(sw.code))
 			s.metrics.Latency.Observe(elapsed.Seconds(), endpoint)
-			if s.opts.Logf != nil {
-				s.opts.Logf("%s %s → %d (%v)", r.Method, r.URL.Path, sw.code, elapsed.Round(time.Microsecond))
+			if s.opts.Logger != nil {
+				s.opts.Logger.Info("request",
+					"method", r.Method, "path", r.URL.Path,
+					"code", sw.code, "dur", elapsed.Round(time.Microsecond).String())
 			}
 		}()
 		h(sw, r)
@@ -205,36 +256,44 @@ type instanceInfo struct {
 	Degraded bool   `json:"degraded,omitempty"`
 }
 
+// resolveInstance loads a request's gadget or inline instance, writing the
+// error response itself; nil means the response already went out.
+func (s *Server) resolveInstance(w http.ResponseWriter, gadget string, inline *scenario.InstanceJSON) *spp.Instance {
+	switch {
+	case gadget != "" && inline != nil:
+		writeErr(w, http.StatusBadRequest, "gadget and instance are mutually exclusive")
+		return nil
+	case gadget != "":
+		if s.opts.Gadget == nil {
+			writeErr(w, http.StatusBadRequest, "this server has no gadget resolver; send a full instance")
+			return nil
+		}
+		inst, err := s.opts.Gadget(gadget)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return nil
+		}
+		return inst
+	case inline != nil:
+		inst, err := scenario.DecodeInstance(*inline)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "decoding instance: %v", err)
+			return nil
+		}
+		return inst
+	default:
+		writeErr(w, http.StatusBadRequest, "request wants a gadget name or an inline instance")
+		return nil
+	}
+}
+
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
-	var in *spp.Instance
-	switch {
-	case req.Gadget != "" && req.Instance != nil:
-		writeErr(w, http.StatusBadRequest, "gadget and instance are mutually exclusive")
-		return
-	case req.Gadget != "":
-		if s.opts.Gadget == nil {
-			writeErr(w, http.StatusBadRequest, "this server has no gadget resolver; send a full instance")
-			return
-		}
-		inst, err := s.opts.Gadget(req.Gadget)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		in = inst
-	case req.Instance != nil:
-		inst, err := scenario.DecodeInstance(*req.Instance)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "decoding instance: %v", err)
-			return
-		}
-		in = inst
-	default:
-		writeErr(w, http.StatusBadRequest, "request wants a gadget name or an inline instance")
+	in := s.resolveInstance(w, req.Gadget, req.Instance)
+	if in == nil {
 		return
 	}
 	id := req.ID
@@ -348,10 +407,13 @@ type verdict struct {
 // Callers hold the entry lock (or own v exclusively).
 func (s *Server) runVerify(r *http.Request, id string, v *spp.DeltaVerifier) (verdict, int, error) {
 	before := v.DeltaStats()
+	ctx, op := obs.Flight().StartOp(r.Context(), "verify", id)
 	start := time.Now()
-	res, suspects, err := v.Verify(r.Context())
+	res, suspects, err := v.Verify(ctx)
 	wall := time.Since(start)
 	if err != nil {
+		op.SetVerdict("error")
+		op.Finish()
 		return verdict{}, http.StatusUnprocessableEntity, err
 	}
 	after := v.DeltaStats()
@@ -373,6 +435,19 @@ func (s *Server) runVerify(r *http.Request, id string, v *spp.DeltaVerifier) (ve
 	s.metrics.FullSolves.Add(float64(after.FullSolves - before.FullSolves))
 	s.metrics.CacheHits.Add(float64(after.CacheHits - before.CacheHits))
 	s.metrics.VerifyDuration.Observe(wall.Seconds(), mode)
+	if op != nil {
+		safe := "unsafe"
+		if res.Sat {
+			safe = "safe"
+		}
+		op.SetVerdict(mode + "/" + safe)
+		op.Counter("delta_solves", int64(after.DeltaSolves-before.DeltaSolves))
+		op.Counter("full_solves", int64(after.FullSolves-before.FullSolves))
+		op.Counter("cache_hits", int64(after.CacheHits-before.CacheHits))
+		op.Counter("probes", int64(res.Stats.Probes))
+		op.Counter("relaxations", int64(res.Stats.Relaxations))
+		op.Finish()
+	}
 
 	out := verdict{
 		ID: id, Safe: res.Sat, Model: res.Model,
@@ -545,6 +620,70 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		ent.verifies++
 	}
 	writeJSON(w, code, out)
+}
+
+// analyzeRequest is the body of POST /v1/analyze: one instance, decided
+// once, never resident. Large instances take the same internet-scale path
+// Session.AnalyzeSPP takes, so this is how the condensation series
+// (fsr_scc_*) get driven from the daemon.
+type analyzeRequest struct {
+	Gadget   string                 `json:"gadget,omitempty"`
+	Instance *scenario.InstanceJSON `json:"instance,omitempty"`
+}
+
+// analyzeResponse reports the verdict plus the solve's introspection
+// figures. The model is deliberately omitted: at internet scale it is tens
+// of thousands of entries, and one-shot callers want the verdict.
+type analyzeResponse struct {
+	Name              string   `json:"name"`
+	Nodes             int      `json:"nodes"`
+	Safe              bool     `json:"safe"`
+	Core              []string `json:"core,omitempty"`
+	Suspects          []string `json:"suspects,omitempty"`
+	NumPreference     int      `json:"num_preference"`
+	NumMonotonicity   int      `json:"num_monotonicity"`
+	DurationMS        float64  `json:"duration_ms"`
+	Components        int      `json:"components,omitempty"`
+	TrivialComponents int      `json:"trivial_components,omitempty"`
+	Levels            int      `json:"levels,omitempty"`
+	MaxLevelWidth     int      `json:"max_level_width,omitempty"`
+	Probes            int      `json:"probes,omitempty"`
+	Relaxations       int      `json:"relaxations,omitempty"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	in := s.resolveInstance(w, req.Gadget, req.Instance)
+	if in == nil {
+		return
+	}
+	start := time.Now()
+	res, suspects, err := s.opts.Analyze(r.Context(), in)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "analyzing %s: %v", in.Name, err)
+		return
+	}
+	out := analyzeResponse{
+		Name: in.Name, Nodes: len(in.Nodes), Safe: res.Sat,
+		NumPreference: res.NumPreference, NumMonotonicity: res.NumMonotonicity,
+		DurationMS:        float64(time.Since(start).Microseconds()) / 1e3,
+		Components:        res.Stats.Components,
+		TrivialComponents: res.Stats.TrivialComponents,
+		Levels:            res.Stats.Levels,
+		MaxLevelWidth:     res.Stats.MaxLevelWidth,
+		Probes:            res.Stats.Probes,
+		Relaxations:       res.Stats.Relaxations,
+	}
+	for _, c := range res.Core {
+		out.Core = append(out.Core, c.Assertion.Origin)
+	}
+	for _, n := range suspects {
+		out.Suspects = append(out.Suspects, string(n))
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

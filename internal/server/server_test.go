@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -299,10 +300,8 @@ func TestServerErrors(t *testing.T) {
 // fsr_panics_total for its endpoint, and leaves the daemon serving — the
 // next request on the same server succeeds.
 func TestServerPanicRecovery(t *testing.T) {
-	var logged []string
-	s := New(Options{Logf: func(format string, args ...any) {
-		logged = append(logged, fmt.Sprintf(format, args...))
-	}})
+	var logBuf strings.Builder
+	s := New(Options{Logger: slog.New(slog.NewTextHandler(&logBuf, nil))})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /boom", s.instrument("boom", func(http.ResponseWriter, *http.Request) {
 		panic("kaboom")
@@ -323,13 +322,7 @@ func TestServerPanicRecovery(t *testing.T) {
 	if got := s.metrics.Panics.Value("boom"); got != 1 {
 		t.Errorf("fsr_panics_total{endpoint=boom} = %v, want 1", got)
 	}
-	found := false
-	for _, line := range logged {
-		if strings.Contains(line, "kaboom") {
-			found = true
-		}
-	}
-	if !found {
+	if !strings.Contains(logBuf.String(), "kaboom") {
 		t.Error("panic value not logged")
 	}
 

@@ -27,7 +27,48 @@ var (
 		"Delta-context checks discharged by a full rebuild.")
 	obsCacheHits = obs.Default().Counter("fsr_smt_cache_hits_total",
 		"Delta-context checks answered from the memoized result.")
+
+	// Scale-path (SCC-decomposed backend) introspection: condensation
+	// shape per solve plus Tarjan plan-building latency. The histogram
+	// handle is pre-resolved so the per-solve Observe is alloc-free.
+	obsSCCSolves = obs.Default().Counter("fsr_scc_solves_total",
+		"Systems solved by the SCC-decomposed engine (Decomposed and SolveDense).")
+	obsSCCComponents = obs.Default().Counter("fsr_scc_components_total",
+		"Strongly connected components condensed across all decomposed solves.")
+	obsSCCTrivial = obs.Default().Counter("fsr_scc_trivial_components_total",
+		"Singleton components with no internal edge (decided without a solver queue).")
+	obsSCCLevels = obs.Default().Gauge("fsr_scc_levels",
+		"Topological levels in the most recent decomposed solve's plan.")
+	obsSCCMaxWidth = obs.Default().Gauge("fsr_scc_max_level_width",
+		"Widest level's component count in the most recent decomposed solve (level-parallel occupancy bound).")
+	obsSCCTarjan = obs.Default().HistogramVec("fsr_scc_tarjan_seconds",
+		"Iterative Tarjan condensation time per decomposed solve.").With()
 )
+
+// snapshotStats copies the engine's accumulated per-solve loop effort into
+// st — the per-operation counterpart of flushStats' process-global drain.
+// Call before the deferred flushStats zeroes the fields.
+func (e *dlEngine) snapshotStats(st *Stats) {
+	st.Probes = e.statProbes
+	st.Relaxations = e.statRelax
+}
+
+// recordPlan publishes one condensation plan's shape into the registry and
+// into st. A few atomic adds and one pre-resolved histogram observe per
+// solve — invisible next to the solve itself.
+func (s *sccPlan) recordPlan(st *Stats) {
+	st.Components = s.ncomp
+	st.TrivialComponents = s.trivial
+	st.Levels = s.nLevels
+	st.MaxLevelWidth = s.maxWidth
+	st.TarjanDuration = s.tarjan
+	obsSCCSolves.Inc()
+	obsSCCComponents.Add(int64(s.ncomp))
+	obsSCCTrivial.Add(int64(s.trivial))
+	obsSCCLevels.Set(float64(s.nLevels))
+	obsSCCMaxWidth.Set(float64(s.maxWidth))
+	obsSCCTarjan.Observe(s.tarjan.Seconds())
+}
 
 // flushStats drains the engine's locally accumulated loop counts into the
 // shared registry. Called once per Check (and per delta Check), so the

@@ -93,8 +93,7 @@ func (d Decomposed) Solve(ctx context.Context, assertions []Assertion) (Result, 
 	res := Result{Stats: Stats{Assertions: len(asserts), Variables: len(e.idVar) - 1, Edges: len(e.edges)}}
 
 	s := newSCCPlan(e, int32(len(e.idVar)))
-	res.Stats.Components = s.ncomp
-	res.Stats.TrivialComponents = s.trivial
+	s.recordPlan(&res.Stats)
 	sat, err := s.run(ctx, e, d.Workers)
 	if err != nil {
 		return Result{}, err
@@ -102,7 +101,8 @@ func (d Decomposed) Solve(ctx context.Context, assertions []Assertion) (Result, 
 	if !sat {
 		// A component is unsatisfiable: rerun the sequential path, whose
 		// cycle extraction and minimization order define the canonical
-		// minimal core. The condensation stats survive the handoff.
+		// minimal core. The condensation stats survive the handoff (plain
+		// field copies — recordPlan already published this plan once).
 		c := &Context{asserts: asserts, NoMinimize: d.NoMinimize}
 		out, err := c.CheckContext(ctx)
 		if err != nil {
@@ -110,6 +110,9 @@ func (d Decomposed) Solve(ctx context.Context, assertions []Assertion) (Result, 
 		}
 		out.Stats.Components = s.ncomp
 		out.Stats.TrivialComponents = s.trivial
+		out.Stats.Levels = s.nLevels
+		out.Stats.MaxLevelWidth = s.maxWidth
+		out.Stats.TarjanDuration = s.tarjan
 		return out, nil
 	}
 
@@ -123,6 +126,7 @@ func (d Decomposed) Solve(ctx context.Context, assertions []Assertion) (Result, 
 	}
 	res.Sat = true
 	res.Model = model
+	e.snapshotStats(&res.Stats)
 	res.Stats.Duration = time.Since(start)
 	return res, nil
 }
@@ -141,11 +145,16 @@ type sccPlan struct {
 	trivial   int   // singleton components with no internal edge
 	maxComp   int   // largest component size (SPFA scratch bound)
 	relax     int64 // relaxation tally, accumulated atomically by workers
+
+	nLevels  int           // topological levels in the plan
+	maxWidth int           // widest level's component count (parallel occupancy bound)
+	tarjan   time.Duration // condensation (plan-build) time
 }
 
 // newSCCPlan runs iterative Tarjan over the engine's edges (all ground and
 // positivity edges are active at Solve entry) and derives the level plan.
 func newSCCPlan(e *dlEngine, V int32) *sccPlan {
+	buildStart := time.Now()
 	s := &sccPlan{
 		comp: make([]int32, V),
 	}
@@ -274,6 +283,13 @@ func newSCCPlan(e *dlEngine, V int32) *sccPlan {
 		s.levels[lfill[l]] = int32(c)
 		lfill[l]++
 	}
+	s.nLevels = int(maxLevel) + 1
+	for l := 0; l < s.nLevels; l++ {
+		if w := int(s.lvlStart[l+1] - s.lvlStart[l]); w > s.maxWidth {
+			s.maxWidth = w
+		}
+	}
+	s.tarjan = time.Since(buildStart)
 	return s
 }
 
@@ -484,8 +500,7 @@ func SolveDense(ctx context.Context, numVars int, cons []DenseConstraint, worker
 
 	stats = Stats{Assertions: len(cons), Variables: numVars, Edges: len(e.edges)}
 	s := newSCCPlan(e, int32(V))
-	stats.Components = s.ncomp
-	stats.TrivialComponents = s.trivial
+	s.recordPlan(&stats)
 	sat, err = s.run(ctx, e, workers)
 	if err != nil {
 		return false, nil, Stats{}, err
@@ -497,6 +512,7 @@ func SolveDense(ctx context.Context, numVars int, cons []DenseConstraint, worker
 			model[v] = e.dist[v] - d0
 		}
 	}
+	e.snapshotStats(&stats)
 	stats.Duration = time.Since(start)
 	return sat, model, stats, nil
 }

@@ -149,6 +149,20 @@ type Stats struct {
 	// queue). Zero on the undecomposed backends.
 	Components        int
 	TrivialComponents int
+	// Probes and Relaxations are this solve's loop effort: satisfiability
+	// probes decided and successful edge relaxations across SPFA and
+	// Bellman–Ford passes — the per-operation view of the process-global
+	// fsr_smt_probes_total / fsr_smt_relaxations_total counters.
+	Probes      int
+	Relaxations int
+	// Levels, MaxLevelWidth, and TarjanDuration describe the decomposed
+	// backend's level plan: topological levels in the condensation, the
+	// widest level's component count (the level-parallel occupancy bound),
+	// and the time iterative Tarjan spent building the plan. Zero on the
+	// undecomposed backends.
+	Levels         int
+	MaxLevelWidth  int
+	TarjanDuration time.Duration
 }
 
 // Result is the outcome of Check.
@@ -286,6 +300,7 @@ func (s *Context) CheckContext(ctx context.Context) (Result, error) {
 		res.Sat = false
 		res.Core = core
 		res.CoreIdx = coreIdx
+		e.snapshotStats(&res.Stats)
 		res.Stats.Duration = time.Since(start)
 		return res, nil
 	}
@@ -303,6 +318,7 @@ func (s *Context) CheckContext(ctx context.Context) (Result, error) {
 	}
 	res.Sat = true
 	res.Model = model
+	e.snapshotStats(&res.Stats)
 	res.Stats.Duration = time.Since(start)
 	return res, nil
 }

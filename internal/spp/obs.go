@@ -1,0 +1,43 @@
+// Scale-path introspection: which route AnalyzeScale took, how often the
+// compact naming scheme collided, and where sharded emission time goes.
+//
+// Histogram and counter handles are pre-resolved at init so the per-shard
+// timing observes are label-lookup-free — the emission passes run at
+// memory bandwidth and must stay there.
+
+package spp
+
+import (
+	"time"
+
+	"fsr/internal/obs"
+)
+
+var (
+	obsScalePath = obs.Default().CounterVec("fsr_spp_scale_path_total",
+		"AnalyzeScale outcomes by route taken.", "path")
+	// dense: sat decided entirely on the dense id encoding.
+	obsPathDense = obsScalePath.With("dense")
+	// resolve: unsat re-solved through the provenance (AoS) buffer.
+	obsPathResolve = obsScalePath.With("resolve")
+	// fallback: compact naming not faithful (collision/degenerate) or
+	// validation failed — caller stays on the classic path.
+	obsPathFallback = obsScalePath.With("fallback")
+
+	obsShardCollisions = obs.Default().Counter("fsr_spp_shard_collisions_total",
+		"Instances rejected by the sharded generator's duplicate-name screen.")
+
+	obsShardEmit = obs.Default().HistogramVec("fsr_spp_shard_emit_seconds",
+		"Sharded emission pass latency by stage.", "stage")
+	obsEmitDensePref = obsShardEmit.With("dense-pref")
+	obsEmitDenseMono = obsShardEmit.With("dense-mono")
+	obsEmitSyms      = obsShardEmit.With("syms")
+	obsEmitPref      = obsShardEmit.With("pref")
+	obsEmitMono      = obsShardEmit.With("mono")
+)
+
+// timeEmit observes one emission pass's duration on a pre-resolved stage
+// handle: t := time.Now() ... defer-free, called at pass exit.
+func timeEmit(h *obs.HistogramHandle, start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}

@@ -40,10 +40,12 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"time"
 	"unicode/utf8"
 
 	"fsr/internal/algebra"
 	"fsr/internal/analysis"
+	"fsr/internal/obs"
 	"fsr/internal/smt"
 )
 
@@ -398,6 +400,7 @@ func buildShardPrep(in *Instance, workers int) (*shardPrep, error) {
 				for _, v := range p.vars {
 					if _, dup := seen[string(v)]; dup {
 						p.ok = false
+						obsShardCollisions.Inc()
 						break
 					}
 					seen[string(v)] = struct{}{}
@@ -471,6 +474,7 @@ func extensionRank(perm []Path, from Node, q Path) int32 {
 // PrefPair/ConcatEntry symbols — so only the AoS buffer pays for them; the
 // dense sat path never calls this.
 func (p *shardPrep) renderSyms(workers int) []string {
+	defer timeEmit(obsEmitSyms, time.Now())
 	syms := make([]string, p.nPaths)
 	parShards(len(p.in.Nodes), workers, func(_, lo, hi int) {
 		for ni := lo; ni < hi; ni++ {
@@ -492,6 +496,7 @@ func (p *shardPrep) shardedConstraints(workers int) []analysis.Constraint {
 	syms := p.renderSyms(workers)
 	totalPref := p.totalPref()
 	cons := make([]analysis.Constraint, p.total())
+	prefStart := time.Now()
 	parShards(len(in.Nodes), workers, func(_, lo, hi int) {
 		for ni := lo; ni < hi; ni++ {
 			base := p.pathOff[ni]
@@ -516,6 +521,8 @@ func (p *shardPrep) shardedConstraints(workers int) []analysis.Constraint {
 			}
 		}
 	})
+	timeEmit(obsEmitPref, prefStart)
+	monoStart := time.Now()
 	parShards(len(p.matches), workers, func(_, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			m := p.matches[j]
@@ -539,6 +546,7 @@ func (p *shardPrep) shardedConstraints(workers int) []analysis.Constraint {
 			}
 		}
 	})
+	timeEmit(obsEmitMono, monoStart)
 	return cons
 }
 
@@ -567,6 +575,7 @@ func ShardedConstraints(in *Instance, workers int) ([]analysis.Constraint, bool,
 func (p *shardPrep) denseConstraints(workers int) (cons []smt.DenseConstraint, appears []bool) {
 	totalPref := p.totalPref()
 	cons = make([]smt.DenseConstraint, p.total())
+	prefStart := time.Now()
 	parShards(len(p.in.Nodes), workers, func(_, lo, hi int) {
 		for ni := lo; ni < hi; ni++ {
 			base := p.pathOff[ni] + 1
@@ -576,6 +585,8 @@ func (p *shardPrep) denseConstraints(workers int) (cons []smt.DenseConstraint, a
 			}
 		}
 	})
+	timeEmit(obsEmitDensePref, prefStart)
+	monoStart := time.Now()
 	parShards(len(p.matches), workers, func(_, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			m := p.matches[j]
@@ -586,6 +597,7 @@ func (p *shardPrep) denseConstraints(workers int) (cons []smt.DenseConstraint, a
 			}
 		}
 	})
+	timeEmit(obsEmitDenseMono, monoStart)
 	appears = make([]bool, p.nPaths+1)
 	for i := range cons {
 		appears[cons[i].A] = true
@@ -639,17 +651,28 @@ func (p *shardPrep) suspects(core []analysis.Constraint) []Node {
 // classic path — structural validation failures are also reported that
 // way, so the classic path can raise its canonical error.
 func AnalyzeScale(ctx context.Context, in *Instance, workers int) (analysis.Result, []Node, bool, error) {
+	ctx, prepSpan := obs.StartSpan(ctx, "shard-prep")
 	p, err := buildShardPrep(in, workers)
+	prepSpan.End()
 	if err != nil || !p.ok {
+		obsPathFallback.Inc()
 		return analysis.Result{}, nil, false, nil
 	}
+	ctx, emitSpan := obs.StartSpan(ctx, "dense-emit")
 	dense, appears := p.denseConstraints(workers)
+	emitSpan.AttrInt("constraints", int64(len(dense)))
+	emitSpan.End()
+	ctx, solveSpan := obs.StartSpan(ctx, "solve-dense")
 	sat, model, stats, err := smt.SolveDense(ctx, p.nPaths, dense, workers)
+	solveSpan.AttrInt("components", int64(stats.Components))
+	solveSpan.AttrInt("levels", int64(stats.Levels))
+	solveSpan.End()
 	if err != nil {
 		return analysis.Result{}, nil, false, err
 	}
 	name := "spp-" + in.Name
 	if sat {
+		obsPathDense.Inc()
 		res := analysis.Result{
 			Algebra:         name,
 			Condition:       analysis.StrictMonotonicity,
@@ -672,12 +695,18 @@ func AnalyzeScale(ctx context.Context, in *Instance, workers int) (analysis.Resu
 		res.Stats.Edges = len(dense) + nVars
 		return res, nil, true, nil
 	}
+	obsPathResolve.Inc()
+	ctx, resolveSpan := obs.StartSpan(ctx, "resolve-classic")
 	cons := p.shardedConstraints(workers)
 	res, err := analysis.CheckPrepared(ctx, name, analysis.StrictMonotonicity, cons, smt.Native{})
+	resolveSpan.End()
 	if err != nil {
 		return analysis.Result{}, nil, false, err
 	}
 	res.Stats.Components = stats.Components
 	res.Stats.TrivialComponents = stats.TrivialComponents
+	res.Stats.Levels = stats.Levels
+	res.Stats.MaxLevelWidth = stats.MaxLevelWidth
+	res.Stats.TarjanDuration = stats.TarjanDuration
 	return res, p.suspects(res.Core), true, nil
 }

@@ -3,6 +3,7 @@ package fsr
 import (
 	"context"
 	"net/http"
+	"time"
 
 	"fsr/internal/obs"
 	"fsr/internal/server"
@@ -53,3 +54,41 @@ func MetricsHandler() http.Handler { return obs.Default().Handler() }
 // the mux. Profiles expose heap contents and timing side channels, so
 // mount only on trusted listeners.
 func MountPprof(mux *http.ServeMux) { server.MountPprof(mux) }
+
+// obsFlight gives the facade access to the process-global flight recorder
+// without exporting the obs type directly.
+func obsFlight() *obs.FlightRecorder { return obs.Flight() }
+
+// EnableFlightRecorder turns the process-global flight recorder on or off.
+// On, every Session.Analyze/AnalyzeSPP call, daemon verification, and
+// campaign scenario lands in a bounded ring of recent operations (with
+// drained solver counters), and operations beyond the slow-op threshold
+// retain their full span tree — served at GET /v1/flightrecorder by the
+// daemon and the campaign metrics listener. Off (the default), the
+// instrumented paths pay one atomic load.
+func EnableFlightRecorder(on bool) { obs.Flight().Enable(on) }
+
+// SetSlowOpThreshold sets the latency beyond which a recorded operation's
+// span tree is retained. Non-positive restores the default (100ms).
+func SetSlowOpThreshold(d time.Duration) { obs.Flight().SetSlowThreshold(d) }
+
+// FlightRecorderHandler serves the flight recorder's snapshot as JSON —
+// the GET /v1/flightrecorder payload, for embedders mounting their own
+// mux.
+func FlightRecorderHandler() http.Handler { return obs.Flight().Handler() }
+
+// MountDiagnostics mounts the full diagnosis surface on mux —
+// GET /v1/timeseries (retained metric samples), GET /v1/flightrecorder,
+// and GET /dashboard (live HTML dashboard) — and starts a sampler over the
+// process-global registry. The returned stop function halts the sampler;
+// the handlers keep serving the retained window. Interval/window ≤ 0 get
+// the defaults (2s, 5m).
+func MountDiagnostics(mux *http.ServeMux, interval, window time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if window <= 0 {
+		window = 5 * time.Minute
+	}
+	return obs.MountDiagnostics(mux, interval, window)
+}

@@ -3,6 +3,7 @@ package fsr
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"net"
 	"net/http"
 	"time"
@@ -20,27 +21,47 @@ type ServeOptions struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
 	// profiles expose heap contents, so enable only on trusted listeners.
 	Pprof bool
-	// Logf receives one line per request when non-nil.
-	Logf func(format string, args ...any)
+	// Logger receives structured request, panic, and lifecycle records
+	// when non-nil.
+	Logger *slog.Logger
+	// SlowOpThreshold sets the flight recorder's slow-op latency bound:
+	// operations beyond it retain their full span tree, retrievable from
+	// GET /v1/flightrecorder without a re-run. Zero keeps the default
+	// (100ms).
+	SlowOpThreshold time.Duration
 	// ShutdownTimeout bounds the graceful drain after the context is
 	// cancelled: in-flight requests get this long to finish before the
 	// remaining connections are closed (default 5s).
 	ShutdownTimeout time.Duration
 }
 
-// NewServerHandler returns the verification daemon's http.Handler: a
-// registry of resident [DeltaVerifier]s behind an HTTP/JSON API
-// (POST /v1/instances, …/verify, …/whatif, GET /v1/instances[/{id}],
-// /healthz, /metrics), with built-in gadget names resolved through
-// [Gadget]. Mount it under your own server, or use [Serve] to run a
-// standalone daemon.
-func NewServerHandler(opts ServeOptions) http.Handler {
+// newServer builds the daemon with the public facade's capabilities
+// injected: gadget resolution through [Gadget] and one-shot analysis
+// through a default Session's AnalyzeSPP (so POST /v1/analyze takes the
+// internet-scale path on large instances).
+func newServer(opts ServeOptions) *server.Server {
+	if opts.SlowOpThreshold > 0 {
+		obsFlight().SetSlowThreshold(opts.SlowOpThreshold)
+	}
+	sess := NewSession()
 	return server.New(server.Options{
 		Gadget:      Gadget,
 		CheckOracle: opts.CheckOracle,
 		Pprof:       opts.Pprof,
-		Logf:        opts.Logf,
-	}).Handler()
+		Logger:      opts.Logger,
+		Analyze:     sess.AnalyzeSPP,
+	})
+}
+
+// NewServerHandler returns the verification daemon's http.Handler: a
+// registry of resident [DeltaVerifier]s behind an HTTP/JSON API
+// (POST /v1/instances, …/verify, …/whatif, POST /v1/analyze,
+// GET /v1/instances[/{id}], /healthz, /metrics), plus the diagnosis
+// surface (/v1/flightrecorder, /v1/timeseries, /dashboard), with built-in
+// gadget names resolved through [Gadget]. Mount it under your own server,
+// or use [Serve] to run a standalone daemon.
+func NewServerHandler(opts ServeOptions) http.Handler {
+	return newServer(opts).Handler()
 }
 
 // Serve runs the verification daemon until the context is cancelled, then
@@ -63,8 +84,10 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 	if err != nil {
 		return err
 	}
+	daemon := newServer(opts)
+	defer daemon.Close()
 	srv := &http.Server{
-		Handler: NewServerHandler(opts),
+		Handler: daemon.Handler(),
 		// Slowloris guard: a peer must finish its header block quickly …
 		ReadHeaderTimeout: 5 * time.Second,
 		// … and its body within the read window. Verify bodies are bounded
@@ -75,8 +98,8 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 		WriteTimeout: 60 * time.Second,
 		IdleTimeout:  120 * time.Second,
 	}
-	if opts.Logf != nil {
-		opts.Logf("fsr serve: listening on http://%s", ln.Addr())
+	if opts.Logger != nil {
+		opts.Logger.Info("fsr serve: listening", "addr", ln.Addr().String(), "url", "http://"+ln.Addr().String())
 	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()

@@ -2,43 +2,61 @@ package fsr
 
 import (
 	"context"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"testing"
 	"time"
 )
 
+// lineWriter funnels each slog text line written during Serve to a channel,
+// so the test can pick the bind address out of the listening record.
+type lineWriter struct{ lines chan string }
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	select {
+	case w.lines <- string(p):
+	default:
+	}
+	return len(p), nil
+}
+
 // TestServeGracefulShutdown: the daemon binds, answers, and drains cleanly
 // when its context is cancelled — the SIGINT/SIGTERM path `fsr serve` runs.
 func TestServeGracefulShutdown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	addrCh := make(chan string, 1)
+	lw := &lineWriter{lines: make(chan string, 16)}
+	logger := slog.New(slog.NewTextHandler(lw, nil))
 	done := make(chan error, 1)
 	go func() {
 		done <- Serve(ctx, ServeOptions{
 			Addr:            "127.0.0.1:0",
 			ShutdownTimeout: 2 * time.Second,
-			Logf: func(format string, args ...any) {
-				line := fmt.Sprintf(format, args...)
-				if rest, ok := strings.CutPrefix(line, "fsr serve: listening on http://"); ok {
-					select {
-					case addrCh <- rest:
-					default:
-					}
-				}
-			},
+			Logger:          logger,
 		})
 	}()
 
 	var addr string
-	select {
-	case addr = <-addrCh:
-	case err := <-done:
-		t.Fatalf("serve exited before binding: %v", err)
-	case <-time.After(5 * time.Second):
-		t.Fatal("daemon did not bind within 5s")
+wait:
+	for {
+		select {
+		case line := <-lw.lines:
+			if !strings.Contains(line, "listening") {
+				continue
+			}
+			for _, tok := range strings.Fields(line) {
+				if rest, ok := strings.CutPrefix(tok, "addr="); ok {
+					addr = rest
+					break wait
+				}
+			}
+			t.Fatalf("listening record has no addr attr: %q", line)
+		case err := <-done:
+			t.Fatalf("serve exited before binding: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("daemon did not bind within 5s")
+		}
 	}
 
 	resp, err := http.Get("http://" + addr + "/healthz")

@@ -146,10 +146,27 @@ func (s *Session) RunnerName() string { return s.runner.Name() }
 // Analyze decides safety for a policy configuration, applying the
 // lexical-product composition rule (§IV), on the session's solver backend.
 func (s *Session) Analyze(ctx context.Context, a Algebra) (SafetyReport, error) {
+	ctx, op := obs.Flight().StartOp(ctx, "analyze", a.Name())
 	ctx, sp := obs.StartSpan(ctx, "analyze")
 	sp.Attr("algebra", a.Name())
 	defer sp.End()
-	return analysis.AnalyzeSafetyWith(ctx, a, s.solver)
+	rep, err := analysis.AnalyzeSafetyWith(ctx, a, s.solver)
+	if op != nil {
+		if err != nil {
+			op.SetVerdict("error")
+		} else {
+			op.SetVerdict(rep.Verdict.String())
+			var probes, relax int64
+			for i := range rep.Steps {
+				probes += int64(rep.Steps[i].Stats.Probes)
+				relax += int64(rep.Steps[i].Stats.Relaxations)
+			}
+			op.Counter("probes", probes)
+			op.Counter("relaxations", relax)
+		}
+		op.Finish()
+	}
+	return rep, err
 }
 
 // AnalyzeAll analyzes a batch of policy configurations concurrently over a
@@ -234,15 +251,46 @@ const scaleThreshold = 512
 // bit-identical to the classic pipeline. Instances the compact path cannot
 // represent fall through to the classic pipeline transparently.
 func (s *Session) AnalyzeSPP(ctx context.Context, in *SPPInstance) (AnalysisResult, []SPPNode, error) {
+	ctx, op := obs.Flight().StartOp(ctx, "analyze-spp", in.Name)
+	op.SetSize(len(in.Nodes))
+	ctx, sp := obs.StartSpan(ctx, "analyze-spp")
+	sp.AttrInt("nodes", int64(len(in.Nodes)))
+	res, suspects, err := s.analyzeSPP(ctx, in, sp)
+	sp.End()
+	if op != nil {
+		switch {
+		case err != nil:
+			op.SetVerdict("error")
+		case res.Sat:
+			op.SetVerdict("safe")
+		default:
+			op.SetVerdict("unsafe")
+		}
+		op.Counter("probes", int64(res.Stats.Probes))
+		op.Counter("relaxations", int64(res.Stats.Relaxations))
+		op.Counter("components", int64(res.Stats.Components))
+		op.Counter("trivial_components", int64(res.Stats.TrivialComponents))
+		op.Counter("levels", int64(res.Stats.Levels))
+		op.Counter("max_level_width", int64(res.Stats.MaxLevelWidth))
+		op.Finish()
+	}
+	return res, suspects, err
+}
+
+// analyzeSPP is AnalyzeSPP's body, split out so the instrumentation
+// wrapper observes exactly one return path.
+func (s *Session) analyzeSPP(ctx context.Context, in *SPPInstance, sp *obs.Span) (AnalysisResult, []SPPNode, error) {
 	if len(in.Nodes) >= scaleThreshold && scaleEligible(s.solver) {
 		res, suspects, ok, err := spp.AnalyzeScale(ctx, in, s.parallelism)
 		if err != nil {
 			return AnalysisResult{}, nil, err
 		}
 		if ok {
+			sp.Attr("path", "scale")
 			return res, suspects, nil
 		}
 	}
+	sp.Attr("path", "classic")
 	conv, err := in.ToAlgebra()
 	if err != nil {
 		return AnalysisResult{}, nil, err
